@@ -1,0 +1,247 @@
+package hog
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation studies of DESIGN.md's per-experiment index. Each benchmark
+// iteration executes the corresponding experiment end to end and reports the
+// headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every row the paper reports at a bounded scale. For the
+// paper-scale sweeps (all 12 Figure 4 points, 3 seeds each, the full 88-job
+// schedule) use cmd/hogbench, whose output EXPERIMENTS.md records.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"hog/internal/experiments"
+	"hog/internal/workload"
+)
+
+// benchOpts keeps a single benchmark iteration to a few seconds while
+// preserving every experiment's qualitative shape.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Scale: 0.5,
+		Seeds: []int64{1},
+		Nodes: []int{40, 55, 99, 100, 180},
+	}
+}
+
+// BenchmarkTable1FacebookBins regenerates Table I: the Facebook bin
+// distribution and a generated 88-job schedule over it.
+func BenchmarkTable1FacebookBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PrintTable1(io.Discard)
+		s := workload.Generate(int64(i)+1, workload.Config{})
+		if len(s.Jobs) != 88 {
+			b.Fatalf("schedule has %d jobs, want 88", len(s.Jobs))
+		}
+	}
+	b.ReportMetric(88, "jobs")
+	b.ReportMetric(float64(workload.TotalMaps(workload.Table2())), "map-tasks")
+}
+
+// BenchmarkTable2TruncatedWorkload regenerates Table II.
+func BenchmarkTable2TruncatedWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PrintTable2(io.Discard)
+	}
+	bins := workload.Table2()
+	b.ReportMetric(float64(len(bins)), "bins")
+	b.ReportMetric(float64(workload.TotalJobs(bins)), "jobs")
+}
+
+// BenchmarkTable3DedicatedCluster measures the Figure 4 dashed line: the
+// Table III cluster running the Facebook schedule.
+func BenchmarkTable3DedicatedCluster(b *testing.B) {
+	var r experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3(benchOpts())
+	}
+	if r.Nodes != 30 || r.MapSlots != 100 || r.ReduceSlots != 30 {
+		b.Fatalf("cluster shape %d/%d/%d, want 30/100/30", r.Nodes, r.MapSlots, r.ReduceSlots)
+	}
+	b.ReportMetric(r.Response.Seconds(), "response-s")
+}
+
+// BenchmarkFig4EquivalentPerformance sweeps HOG pool sizes against the
+// dedicated cluster and reports the crossover point (paper: [99,100]).
+func BenchmarkFig4EquivalentPerformance(b *testing.B) {
+	var r experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig4(benchOpts())
+	}
+	b.ReportMetric(r.Cluster.Seconds(), "cluster-s")
+	for _, p := range r.Points {
+		if p.Nodes == 55 {
+			b.ReportMetric(p.Mean.Seconds(), "hog55-s")
+		}
+		if p.Nodes == 100 {
+			b.ReportMetric(p.Mean.Seconds(), "hog100-s")
+		}
+	}
+	if r.Crossover < 0 {
+		b.Log("no crossover in benchmark-scale sweep")
+	} else {
+		b.ReportMetric(float64(r.Crossover), "crossover-nodes")
+	}
+}
+
+// BenchmarkFig5NodeFluctuation regenerates the three Figure 5 node series.
+func BenchmarkFig5NodeFluctuation(b *testing.B) {
+	var runs []experiments.FluctuationRun
+	for i := 0; i < b.N; i++ {
+		runs = experiments.Fig5Table4(benchOpts())
+	}
+	if len(runs) != 3 {
+		b.Fatalf("runs = %d, want 3 (5a, 5b, 5c)", len(runs))
+	}
+	for _, r := range runs {
+		if r.Series.Len() == 0 {
+			b.Fatal("empty availability series")
+		}
+	}
+	b.ReportMetric(runs[2].Response.Seconds()-runs[0].Response.Seconds(), "unstable-penalty-s")
+}
+
+// BenchmarkTable4AreaBeneathCurves reports the Table IV statistics: response
+// time and area beneath the availability curve for the Figure 5 runs.
+func BenchmarkTable4AreaBeneathCurves(b *testing.B) {
+	var runs []experiments.FluctuationRun
+	for i := 0; i < b.N; i++ {
+		runs = experiments.Fig5Table4(benchOpts())
+	}
+	for _, r := range runs {
+		label := strings.Fields(r.Label)[0]
+		b.ReportMetric(r.Response.Seconds(), label+"-resp-s")
+		b.ReportMetric(r.Area/1000, label+"-area-kns")
+	}
+}
+
+// BenchmarkAblationSiteAwareness: whole-site failure with and without
+// HOG's site-aware placement and replication 10 (§III.B.1).
+func BenchmarkAblationSiteAwareness(b *testing.B) {
+	var rs []experiments.SiteFailureResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.SiteFailure(benchOpts())
+	}
+	if rs[0].BlocksLost != 0 {
+		b.Fatalf("HOG config lost %d blocks on site failure, want 0", rs[0].BlocksLost)
+	}
+	b.ReportMetric(float64(rs[0].BlocksLost), "hog-blocks-lost")
+	b.ReportMetric(float64(rs[1].BlocksLost), "naive-blocks-lost")
+	b.ReportMetric(float64(rs[1].JobsFailed), "naive-jobs-failed")
+}
+
+// BenchmarkAblationReplicationFactor sweeps the replication factor under
+// unstable churn (§III.B.1's 3-vs-10 trade-off).
+func BenchmarkAblationReplicationFactor(b *testing.B) {
+	var rs []experiments.ReplicationResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.ReplicationSweep(benchOpts())
+	}
+	for _, r := range rs {
+		switch r.Repl {
+		case 3:
+			b.ReportMetric(float64(r.BlocksLost), "repl3-blocks-lost")
+		case 10:
+			b.ReportMetric(float64(r.BlocksLost), "repl10-blocks-lost")
+			b.ReportMetric(r.BytesReplicated/1e9, "repl10-recovery-GB")
+		}
+	}
+}
+
+// BenchmarkAblationHeartbeatTimeout compares HOG's 30 s dead timeout with
+// the traditional 15 minutes under churn (§III.B).
+func BenchmarkAblationHeartbeatTimeout(b *testing.B) {
+	var rs []experiments.HeartbeatResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.HeartbeatSweep(benchOpts())
+	}
+	b.ReportMetric(rs[0].Response.Seconds(), "timeout30s-resp-s")
+	b.ReportMetric(rs[1].Response.Seconds(), "timeout900s-resp-s")
+	if rs[0].Response >= rs[1].Response {
+		b.Log("warning: 30s timeout not faster in this run (stochastic)")
+	}
+}
+
+// BenchmarkAblationZombieDatanodes compares the three §IV.D.1 behaviours.
+func BenchmarkAblationZombieDatanodes(b *testing.B) {
+	var rs []experiments.ZombieResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.ZombieSweep(benchOpts())
+	}
+	for _, r := range rs {
+		b.ReportMetric(float64(r.JobsFailed), r.Mode.String()+"-jobs-failed")
+	}
+	// The fix must eliminate job failures.
+	if rs[2].JobsFailed != 0 {
+		b.Fatalf("fixed mode failed %d jobs", rs[2].JobsFailed)
+	}
+}
+
+// BenchmarkAblationDiskOverflow reproduces §IV.D.2: shrinking scratch disks
+// until accumulated intermediate output kills workers.
+func BenchmarkAblationDiskOverflow(b *testing.B) {
+	var rs []experiments.DiskOverflowResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.DiskOverflow(benchOpts())
+	}
+	b.ReportMetric(float64(rs[0].Killed), "disk-ample-killed")
+	b.ReportMetric(float64(rs[len(rs)-1].Killed), "disk-tight-killed")
+	if rs[0].Killed > 0 {
+		b.Fatalf("ample disks still overflowed (%d workers killed)", rs[0].Killed)
+	}
+}
+
+// BenchmarkAblationRedundantCopies explores the paper's §VI future work:
+// configurable task copy counts under churn.
+func BenchmarkAblationRedundantCopies(b *testing.B) {
+	var rs []experiments.NCopyResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.RedundantCopies(benchOpts())
+	}
+	for _, r := range rs {
+		name := "copies2"
+		switch {
+		case r.Copies == 1:
+			name = "nospec"
+		case r.Copies == 2 && r.Eager:
+			name = "eager2"
+		case r.Copies == 3:
+			name = "eager3"
+		}
+		b.ReportMetric(r.Response.Seconds(), name+"-resp-s")
+	}
+}
+
+// BenchmarkAblationDelayScheduling compares HOG's FIFO against delay
+// scheduling (Zaharia et al. [3]) at a contended replication factor.
+func BenchmarkAblationDelayScheduling(b *testing.B) {
+	var rs []experiments.DelayResult
+	for i := 0; i < b.N; i++ {
+		rs = experiments.DelayScheduling(benchOpts())
+	}
+	b.ReportMetric(100*rs[0].LocalityRate, "fifo-local-pct")
+	b.ReportMetric(100*rs[len(rs)-1].LocalityRate, "delay45s-local-pct")
+	if rs[len(rs)-1].LocalityRate < rs[0].LocalityRate {
+		b.Fatal("delay scheduling reduced locality")
+	}
+}
+
+// BenchmarkAblationHODBaseline compares Hadoop On Demand's per-job cluster
+// reconstruction with HOG's persistent platform (§V).
+func BenchmarkAblationHODBaseline(b *testing.B) {
+	var rs []experiments.HODResultRow
+	for i := 0; i < b.N; i++ {
+		rs = experiments.HODComparison(benchOpts())
+	}
+	b.ReportMetric(rs[0].Response.Seconds(), "hod-resp-s")
+	b.ReportMetric(rs[1].Response.Seconds(), "hog-resp-s")
+	if rs[0].Response <= rs[1].Response {
+		b.Fatal("HOD not slower than HOG; reconstruction overhead lost")
+	}
+}

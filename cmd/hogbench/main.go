@@ -1,0 +1,86 @@
+// Command hogbench regenerates the paper's tables and figures plus the
+// repository's ablation studies.
+//
+// Usage:
+//
+//	hogbench -exp all            # everything, paper scale (several minutes)
+//	hogbench -exp fig4 -quick    # one experiment, reduced scale
+//	hogbench -list               # show available experiment ids
+//
+// Experiment ids map to the paper via DESIGN.md's per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hog/internal/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func(opts experiments.Options)
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	quick := flag.Bool("quick", false, "reduced scale and single seed")
+	list := flag.Bool("list", false, "list experiment ids")
+	scale := flag.Float64("scale", 0, "override workload scale (0 = preset)")
+	flag.Parse()
+
+	out := os.Stdout
+	runners := []runner{
+		{"table1", "Table I: Facebook workload bins", func(experiments.Options) { experiments.PrintTable1(out) }},
+		{"table2", "Table II: truncated workload", func(experiments.Options) { experiments.PrintTable2(out) }},
+		{"table3", "Table III: dedicated cluster baseline", func(o experiments.Options) { experiments.PrintTable3(out, o) }},
+		{"fig4", "Figure 4: equivalent performance sweep", func(o experiments.Options) { experiments.PrintFig4(out, o) }},
+		{"fig5", "Figure 5 + Table IV: node fluctuation", func(o experiments.Options) { experiments.PrintFig5Table4(out, o) }},
+		{"table4", "Table IV (alias of fig5)", func(o experiments.Options) { experiments.PrintFig5Table4(out, o) }},
+		{"site", "A-SITE: whole-site failure ablation", func(o experiments.Options) { experiments.PrintSiteFailure(out, o) }},
+		{"repl", "A-REPL: replication factor sweep", func(o experiments.Options) { experiments.PrintReplicationSweep(out, o) }},
+		{"heartbeat", "A-HB: dead timeout 30s vs 15min", func(o experiments.Options) { experiments.PrintHeartbeatSweep(out, o) }},
+		{"zombie", "A-ZOMBIE: abandoned datanode modes", func(o experiments.Options) { experiments.PrintZombieSweep(out, o) }},
+		{"disk", "A-DISK: intermediate-data disk overflow", func(o experiments.Options) { experiments.PrintDiskOverflow(out, o) }},
+		{"ncopy", "A-NCOPY: redundant task copies", func(o experiments.Options) { experiments.PrintRedundantCopies(out, o) }},
+		{"delay", "A-DELAY: FIFO vs delay scheduling", func(o experiments.Options) { experiments.PrintDelayScheduling(out, o) }},
+		{"hod", "A-HOD: Hadoop On Demand baseline", func(o experiments.Options) { experiments.PrintHODComparison(out, o) }},
+	}
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-10s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.id {
+			continue
+		}
+		// table4 duplicates fig5 in -exp all.
+		if *exp == "all" && r.id == "table4" {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		r.run(opts)
+		fmt.Fprintf(out, "[%s done in %.1fs]\n\n", r.id, time.Since(start).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,145 @@
+// Command hogsim runs a single HOG (or dedicated-cluster) scenario with
+// every knob on the command line and prints a result summary — the ad-hoc
+// exploration companion to cmd/hogbench's fixed experiments.
+//
+// Examples:
+//
+//	hogsim -nodes 100 -churn stable -seed 1
+//	hogsim -nodes 55 -churn unstable -zombie unfixed -plot
+//	hogsim -cluster
+//	hogsim -nodes 60 -repl 3 -site-aware=false -dead-timeout 900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/sim"
+	"hog/internal/traceio"
+	"hog/internal/workload"
+)
+
+func main() {
+	var (
+		nodes       = flag.Int("nodes", 100, "HOG pool target size")
+		churnName   = flag.String("churn", "stable", "grid churn: none|stable|unstable")
+		seed        = flag.Int64("seed", 1, "simulation and workload seed")
+		scale       = flag.Float64("scale", 1.0, "workload scale (1.0 = 88 jobs)")
+		cluster     = flag.Bool("cluster", false, "run the Table III dedicated cluster instead of HOG")
+		repl        = flag.Int("repl", 0, "override HDFS replication factor")
+		siteAware   = flag.Bool("site-aware", true, "enable site-aware placement")
+		deadTimeout = flag.Float64("dead-timeout", 0, "override dead timeout in seconds")
+		zombieName  = flag.String("zombie", "fixed", "preempted daemon mode: fixed|unfixed|disk-check")
+		copies      = flag.Int("copies", 0, "max task copies (future-work redundancy when > 2)")
+		plot        = flag.Bool("plot", false, "print the node-availability plot")
+		seriesCSV   = flag.String("series-csv", "", "write the node-availability series to this CSV file")
+		schedCSV    = flag.String("sched", "", "replay a schedule CSV (from genworkload) instead of generating one")
+	)
+	flag.Parse()
+
+	var cfg core.Config
+	if *cluster {
+		cfg = core.DedicatedClusterConfig(*seed)
+	} else {
+		churn, ok := map[string]grid.ChurnProfile{
+			"none": grid.ChurnNone, "stable": grid.ChurnStable, "unstable": grid.ChurnUnstable,
+		}[*churnName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown churn %q\n", *churnName)
+			os.Exit(2)
+		}
+		cfg = core.HOGConfig(*nodes, churn, *seed)
+		zombie, ok := map[string]core.ZombieMode{
+			"fixed": core.ZombieFixed, "unfixed": core.ZombieUnfixed, "disk-check": core.ZombieDiskCheck,
+		}[*zombieName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown zombie mode %q\n", *zombieName)
+			os.Exit(2)
+		}
+		cfg.Zombie = zombie
+	}
+	if *repl > 0 {
+		cfg.HDFS.Replication = *repl
+	}
+	cfg.HDFS.SiteAware = *siteAware
+	if *deadTimeout > 0 {
+		cfg.HDFS.DeadTimeout = sim.Seconds(*deadTimeout)
+		cfg.MapRed.TrackerTimeout = sim.Seconds(*deadTimeout)
+	}
+	if *copies > 0 {
+		cfg.MapRed.MaxTaskCopies = *copies
+		cfg.MapRed.EagerRedundancy = *copies > 2
+	}
+
+	var sched *workload.Schedule
+	if *schedCSV != "" {
+		f, err := os.Open(*schedCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sched, err = workload.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		sched = workload.Generate(*seed, workload.Config{Scale: *scale})
+	}
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched)
+
+	fmt.Printf("workload: %d jobs over %.0fs (scale %.2f, seed %d)\n",
+		len(sched.Jobs), sched.Span().Seconds(), *scale, *seed)
+	fmt.Printf("response time: %.0f s\n", res.ResponseTime.Seconds())
+	fmt.Printf("jobs: %d ok, %d failed\n", len(res.JobResponses), res.JobsFailed)
+	fmt.Printf("job responses: %v\n", res.Summary())
+	fmt.Printf("map locality: %d node-local / %d site-local / %d remote\n",
+		res.MapLocality[0], res.MapLocality[1], res.MapLocality[2])
+	fmt.Printf("attempts: %d map (%d failed, %d spec), %d reduce (%d failed, %d spec), %d maps re-executed\n",
+		res.Counters.MapAttemptsStarted, res.Counters.MapAttemptsFailed, res.Counters.SpeculativeMaps,
+		res.Counters.ReduceAttemptsStarted, res.Counters.ReduceAttemptsFailed, res.Counters.SpeculativeReduces,
+		res.Counters.MapsReExecuted)
+	fmt.Printf("hdfs: %d blocks created, %d lost, %d re-replications (%.1f GB)\n",
+		res.NN.BlocksCreated, res.NN.BlocksLost, res.NN.ReplicationsDone, res.NN.BytesReplicated/1e9)
+	fmt.Printf("network: %.1f GB moved, %.1f GB cross-site\n",
+		res.Net.BytesTotal/1e9, res.Net.BytesCrossSite/1e9)
+	if !*cluster {
+		fmt.Printf("pool: %d provisioned, %d preempted (%d batch), %d killed, area %.0f node-s\n",
+			res.Pool.Provisioned, res.Pool.Preempted, res.Pool.BatchPreempted, res.Pool.Killed, res.Area)
+	}
+	// Per-bin breakdown: the paper bins jobs "to make it possible to compare
+	// jobs in the same bin within and across experiments" (§IV.A).
+	if len(res.JobResponses) > 0 {
+		fmt.Println("per-bin response times:")
+		fmt.Println("  bin  jobs  mean(s)  worst(s)")
+		for _, bs := range workload.SummarizeByBin(res.JobBins, res.JobResponses) {
+			fmt.Printf("  %3d  %4d  %7.0f  %8.0f\n",
+				bs.Bin, bs.Jobs, bs.MeanResp.Seconds(), bs.WorstResp.Seconds())
+		}
+	}
+	if *plot {
+		fmt.Println()
+		fmt.Print(res.Reported.ASCIIPlot(72, 10, res.Start, res.End))
+	}
+	if *seriesCSV != "" {
+		f, err := os.Create(*seriesCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = traceio.WriteSeriesCSV(f, res.Reported)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("node series written to %s\n", *seriesCSV)
+	}
+}

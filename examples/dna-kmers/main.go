@@ -1,0 +1,120 @@
+// Command dna-kmers is a blastreduce-flavoured bioinformatics pipeline — the
+// paper's introduction motivates HOG with exactly this class of user
+// ("researchers developed blastreduce based on Hadoop MapReduce to analyze
+// DNA sequences"). It chains two real MapReduce jobs on the in-process
+// engine: k-mer counting over synthetic reads, then a histogram of k-mer
+// multiplicities (the standard genome-assembly diagnostic).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"hog"
+)
+
+const k = 8
+
+func synthesizeReads(n, length int, seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	bases := []byte("ACGT")
+	// A reference genome with repeated motifs so k-mer counts vary.
+	ref := make([]byte, 4096)
+	for i := range ref {
+		ref[i] = bases[r.Intn(4)]
+	}
+	copy(ref[1024:], ref[:512]) // duplicated region: doubled k-mer counts
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		start := r.Intn(len(ref) - length)
+		sb.Write(ref[start : start+length])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func main() {
+	reads := synthesizeReads(3000, 64, 7)
+
+	countKmers := hog.JobConfig{
+		Name: "kmer-count",
+		Mapper: hog.MapperFunc(func(_, read string, emit hog.Emit) error {
+			for i := 0; i+k <= len(read); i++ {
+				emit(read[i:i+k], "1")
+			}
+			return nil
+		}),
+		Reducer: hog.ReducerFunc(func(kmer string, ones []string, emit hog.Emit) error {
+			emit(kmer, strconv.Itoa(len(ones)))
+			return nil
+		}),
+		NumReducers: 8,
+		SplitSize:   16 << 10,
+	}
+	countKmers.Combiner = hog.ReducerFunc(func(kmer string, ones []string, emit hog.Emit) error {
+		total := 0
+		for _, v := range ones {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(kmer, strconv.Itoa(total))
+		return nil
+	})
+	countKmers.Reducer = countKmers.Combiner
+
+	histogram := hog.JobConfig{
+		Name: "multiplicity-histogram",
+		Mapper: hog.MapperFunc(func(_, line string, emit hog.Emit) error {
+			if line == "" {
+				return nil
+			}
+			tab := strings.IndexByte(line, '\t')
+			if tab < 0 {
+				return nil
+			}
+			emit(fmt.Sprintf("%06s", line[tab+1:]), "1")
+			return nil
+		}),
+		Reducer: hog.ReducerFunc(func(mult string, ones []string, emit hog.Emit) error {
+			emit(mult, strconv.Itoa(len(ones)))
+			return nil
+		}),
+		NumReducers: 1,
+	}
+
+	res, err := hog.RunJobChain([]hog.JobStage{
+		{Name: "count", Job: countKmers},
+		{Name: "histogram", Job: histogram},
+	}, []string{reads})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counts := res.Stages[0]
+	fmt.Printf("== %d-mer counting ==\n", k)
+	fmt.Printf("  reads: 3000 x 64bp, map tasks: %d, distinct %d-mers: %d\n",
+		counts.Counters.MapTasks, k, counts.Counters.ReduceInputKeys)
+	fmt.Printf("  combiner shrank map output %d -> %d records\n",
+		counts.Counters.MapOutputRecords, counts.Counters.CombineOutRecords)
+
+	fmt.Println("\n== multiplicity histogram (top rows) ==")
+	fmt.Println("  multiplicity  #kmers")
+	rows := res.Final.Flatten()
+	shown := 0
+	for _, kv := range rows {
+		fmt.Printf("  %12s  %6s\n", strings.TrimLeft(kv.Key, "0"), kv.Value)
+		shown++
+		if shown >= 10 {
+			break
+		}
+	}
+	fmt.Printf("  (%d multiplicity classes total)\n", len(rows))
+	fmt.Println("\nOn HOG this pipeline runs unchanged across OSG sites; here it")
+	fmt.Println("executes on the in-process engine with identical semantics.")
+}

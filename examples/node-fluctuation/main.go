@@ -1,0 +1,49 @@
+// Command node-fluctuation reproduces the paper's Figure 5 / Table IV study
+// at example scale: three 55-node HOG runs — two under stable churn, one
+// under unstable churn — plotting the reported-alive node count over the
+// workload execution and integrating the area beneath each curve. The paper
+// shows response time tracks node fluctuation (5b < 5a < 5c).
+package main
+
+import (
+	"fmt"
+
+	"hog"
+)
+
+func main() {
+	type run struct {
+		label string
+		churn hog.ChurnProfile
+		seed  int64
+	}
+	runs := []run{
+		{"5a: 55 stable nodes", hog.ChurnStable, 21},
+		{"5b: 55 stable nodes", hog.ChurnStable, 22},
+		{"5c: 55 unstable nodes", hog.ChurnUnstable, 23},
+	}
+	sched := hog.GenerateWorkload(7, 0.35)
+	fmt.Printf("workload: %d jobs\n\n", len(sched.Jobs))
+	fmt.Println("Run                      Response(s)      Area(node-s)")
+	type row struct {
+		label      string
+		resp       float64
+		area       float64
+		rep        *hog.Series
+		start, end hog.Time
+	}
+	var rows []row
+	for _, r := range runs {
+		sys := hog.NewSystem(hog.HOGConfig(55, r.churn, r.seed))
+		res := sys.RunWorkload(sched)
+		rows = append(rows, row{r.label, res.ResponseTime.Seconds(), res.Area, res.Reported, res.Start, res.End})
+		fmt.Printf("%-24s %11.0f %17.0f\n", r.label, res.ResponseTime.Seconds(), res.Area)
+	}
+	fmt.Println("\nNode availability during execution (cf. paper Figure 5):")
+	for _, r := range rows {
+		fmt.Println()
+		fmt.Print(r.rep.ASCIIPlot(68, 8, r.start, r.end))
+	}
+	fmt.Println("\nAs in Table IV, larger node fluctuation (smaller area relative to")
+	fmt.Println("the run length) comes with longer workload response time.")
+}

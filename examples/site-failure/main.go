@@ -1,0 +1,45 @@
+// Command site-failure demonstrates HOG's third failure domain (§III.B.1):
+// an entire OSG site disappears mid-workload. With site-aware placement and
+// replication 10 every block survives and the workload completes; with flat
+// placement and replication 2 the same outage destroys data and fails jobs.
+package main
+
+import (
+	"fmt"
+
+	"hog"
+)
+
+func run(label string, repl int, siteAware bool) {
+	cfg := hog.HOGConfig(60, hog.ChurnNone, 11)
+	cfg.HDFS.Replication = repl
+	cfg.HDFS.SiteAware = siteAware
+
+	sys := hog.NewSystem(cfg)
+	sched := hog.GenerateWorkload(11, 0.3)
+
+	// Schedule the outage: 300 s into the run, the largest site's batch
+	// system preempts every one of our glide-ins at once (e.g. a core
+	// network failure or a higher-priority user claiming the whole pool).
+	sys.Eng.After(300*hog.Seconds(1), func() {
+		killed := sys.Pool.PreemptSite(0, 1.0)
+		fmt.Printf("  [t=%.0fs] site FNAL_FERMIGRID failed: %d workers lost\n",
+			sys.Eng.Now().Seconds(), killed)
+	})
+
+	res := sys.RunWorkload(sched)
+	fmt.Printf("%s\n", label)
+	fmt.Printf("  replication=%d siteAware=%v\n", repl, siteAware)
+	fmt.Printf("  response %.0f s, jobs failed %d, blocks lost %d, re-replications %d\n\n",
+		res.ResponseTime.Seconds(), res.JobsFailed, res.NN.BlocksLost, res.NN.ReplicationsDone)
+}
+
+func main() {
+	fmt.Println("== whole-site failure during the workload ==")
+	run("HOG (the paper's configuration):", 10, true)
+	run("naive grid deployment:", 2, false)
+	fmt.Println("Site awareness guarantees replicas span sites, so a whole-site")
+	fmt.Println("outage cannot take out every copy of a block; replication 10")
+	fmt.Println("additionally rides out simultaneous preemptions faster than the")
+	fmt.Println("namenode can re-replicate (paper §III.B.1).")
+}

@@ -1,0 +1,166 @@
+// Package hog is the public facade of the HOG reproduction: Hadoop
+// MapReduce on the Open Science Grid (He, Weitzel, Swanson, Lu — SC
+// Companion 2012), rebuilt as a Go library.
+//
+// The package exposes three layers:
+//
+//   - The grid-scale simulation stack (NewSystem, HOGConfig,
+//     DedicatedClusterConfig, GenerateWorkload): a deterministic
+//     discrete-event reproduction of HOG — glide-in worker pools over five
+//     OSG sites with preemption, HDFS with site-aware placement and
+//     replication 10, and Hadoop MapReduce 1.0 scheduling — plus the
+//     paper's dedicated comparison cluster.
+//   - A real, concurrent, in-process MapReduce engine (RunJob, Mapper,
+//     Reducer, ...) with the Hadoop programming model the paper promises to
+//     leave unchanged.
+//   - The HOD (Hadoop On Demand) baseline (RunHOD) from the paper's
+//     related-work comparison.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package hog
+
+import (
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/hod"
+	"hog/internal/metrics"
+	"hog/internal/mrlocal"
+	"hog/internal/sim"
+	"hog/internal/workload"
+)
+
+// Simulation stack.
+type (
+	// Config describes a simulated system (HOG pool or dedicated cluster).
+	Config = core.Config
+	// GridConfig is the elastic glide-in part of a Config.
+	GridConfig = core.GridConfig
+	// StaticGroup describes a homogeneous group of dedicated cluster nodes.
+	StaticGroup = core.StaticGroup
+	// JobCosts is the loadgen-like benchmark job cost model.
+	JobCosts = core.JobCosts
+	// System is a running simulated platform.
+	System = core.System
+	// Result aggregates one workload execution.
+	Result = core.Result
+	// ZombieMode selects preempted-daemon behaviour (paper §IV.D.1).
+	ZombieMode = core.ZombieMode
+	// ChurnProfile selects grid hostility (none, stable, unstable).
+	ChurnProfile = grid.ChurnProfile
+	// SiteConfig describes one grid site.
+	SiteConfig = grid.SiteConfig
+	// Schedule is a job submission schedule.
+	Schedule = workload.Schedule
+	// WorkloadBin is one row of the paper's Table I / Table II.
+	WorkloadBin = workload.Bin
+	// Series is a step time series (node availability, Figure 5).
+	Series = metrics.Series
+	// Summary holds order statistics over durations.
+	Summary = metrics.Summary
+	// Time is a simulated timestamp/duration in integer microseconds.
+	Time = sim.Time
+)
+
+// Zombie-handling modes (paper §IV.D.1).
+const (
+	ZombieFixed     = core.ZombieFixed
+	ZombieUnfixed   = core.ZombieUnfixed
+	ZombieDiskCheck = core.ZombieDiskCheck
+)
+
+// Churn profiles for the OSG sites.
+const (
+	ChurnNone     = grid.ChurnNone
+	ChurnStable   = grid.ChurnStable
+	ChurnUnstable = grid.ChurnUnstable
+)
+
+// NewSystem builds a simulated system from cfg.
+func NewSystem(cfg Config) *System { return core.New(cfg) }
+
+// HOGConfig returns the paper's HOG setup at the given pool size and churn:
+// five OSG sites, one map and one reduce slot per node, replication 10,
+// site awareness, and 30-second dead timeouts.
+func HOGConfig(targetNodes int, churn ChurnProfile, seed int64) Config {
+	return core.HOGConfig(targetNodes, churn, seed)
+}
+
+// DedicatedClusterConfig returns the paper's Table III comparison cluster
+// (30 nodes, 100 cores, 100 map and 30 reduce slots).
+func DedicatedClusterConfig(seed int64) Config { return core.DedicatedClusterConfig(seed) }
+
+// OSGSites returns the five sites of the paper's Listing 1 with a churn
+// profile applied.
+func OSGSites(churn ChurnProfile) []SiteConfig { return grid.OSGSites(churn) }
+
+// GenerateWorkload builds the paper's Facebook submission schedule (88 jobs
+// from Table II's bins, exponential inter-arrival with a 14-second mean).
+// scale 1.0 reproduces the paper; smaller values shrink per-bin job counts
+// for quick runs.
+func GenerateWorkload(seed int64, scale float64) *Schedule {
+	return workload.Generate(seed, workload.Config{Scale: scale})
+}
+
+// FacebookBins returns the paper's Table I.
+func FacebookBins() []WorkloadBin { return workload.Table1() }
+
+// TruncatedBins returns the paper's Table II (the six bins actually run).
+func TruncatedBins() []WorkloadBin { return workload.Table2() }
+
+// Real in-process MapReduce engine.
+type (
+	// Mapper transforms one input record into intermediate records.
+	Mapper = mrlocal.Mapper
+	// Reducer folds all values of a key into output records.
+	Reducer = mrlocal.Reducer
+	// MapperFunc adapts a function to Mapper.
+	MapperFunc = mrlocal.MapperFunc
+	// ReducerFunc adapts a function to Reducer.
+	ReducerFunc = mrlocal.ReducerFunc
+	// Emit receives records from map and reduce functions.
+	Emit = mrlocal.Emit
+	// Partitioner assigns keys to reduce partitions.
+	Partitioner = mrlocal.Partitioner
+	// HashPartitioner is the default key partitioner.
+	HashPartitioner = mrlocal.HashPartitioner
+	// JobConfig describes an in-process MapReduce job.
+	JobConfig = mrlocal.Config
+	// JobOutput is a finished in-process job's result.
+	JobOutput = mrlocal.Output
+	// KeyValue is an intermediate or output record.
+	KeyValue = mrlocal.KeyValue
+)
+
+// RunJob executes an in-process MapReduce job over the given documents.
+func RunJob(cfg JobConfig, docs []string) (*JobOutput, error) { return mrlocal.Run(cfg, docs) }
+
+// JobStage is one stage of a chained in-process pipeline.
+type JobStage = mrlocal.Stage
+
+// RunJobChain executes MapReduce jobs back to back, each stage consuming the
+// previous stage's key\tvalue output — the standard Hadoop job-chaining
+// idiom, which HOG runs unchanged.
+func RunJobChain(stages []JobStage, docs []string) (*mrlocal.ChainResult, error) {
+	return mrlocal.RunChain(stages, docs)
+}
+
+// HOD baseline.
+type (
+	// HODConfig parameterises the Hadoop On Demand baseline.
+	HODConfig = hod.Config
+	// HODResult is a whole-schedule HOD execution.
+	HODResult = hod.Result
+)
+
+// RunHOD executes a schedule under HOD semantics: a fresh per-job cluster
+// with provisioning and staging overhead (paper §V).
+func RunHOD(sched *Schedule, cfg HODConfig) *HODResult { return hod.Run(sched, cfg) }
+
+// DefaultHODConfig returns a HOD setup with the given per-job cluster size.
+func DefaultHODConfig(nodesPerJob int, seed int64) HODConfig {
+	return hod.DefaultConfig(nodesPerJob, seed)
+}
+
+// Seconds converts float seconds to a simulated Time.
+func Seconds(s float64) Time { return sim.Seconds(s) }

@@ -1,0 +1,53 @@
+package hog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeWordCount(t *testing.T) {
+	out, err := RunJob(JobConfig{
+		Name: "wc",
+		Mapper: MapperFunc(func(_, line string, emit Emit) error {
+			for _, w := range strings.Fields(line) {
+				emit(w, "1")
+			}
+			return nil
+		}),
+		Reducer: ReducerFunc(func(k string, vs []string, emit Emit) error {
+			emit(k, "seen")
+			return nil
+		}),
+		NumReducers: 2,
+	}, []string{"a b a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Lookup("a"); len(got) != 1 {
+		t.Fatalf("Lookup(a) = %v", got)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	sched := GenerateWorkload(1, 0.05)
+	sys := NewSystem(HOGConfig(15, ChurnNone, 1))
+	res := sys.RunWorkload(sched)
+	if res.JobsFailed != 0 || res.ResponseTime <= 0 {
+		t.Fatalf("facade run failed: %d failed, resp %v", res.JobsFailed, res.ResponseTime)
+	}
+	if s := res.Summary(); s.N != len(res.JobResponses) {
+		t.Fatalf("summary N = %d", s.N)
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	if len(FacebookBins()) != 9 || len(TruncatedBins()) != 6 {
+		t.Fatal("bin tables wrong size")
+	}
+	if Seconds(2) <= 0 {
+		t.Fatal("Seconds broken")
+	}
+	if len(OSGSites(ChurnStable)) != 5 {
+		t.Fatal("OSG sites wrong count")
+	}
+}

@@ -1,0 +1,506 @@
+// Package core assembles HOG — Hadoop On the Grid — from its substrates: the
+// glide-in pool (internal/grid), HDFS with site awareness (internal/hdfs),
+// and MapReduce (internal/mapred) over the fluid network model
+// (internal/netmodel). It owns the worker-node lifecycle the paper describes
+// in §III: daemons start when a glide-in begins, report to the stable
+// central masters, and disappear — cleanly or as zombies — when the site
+// preempts the job. It also builds the dedicated comparison cluster of
+// Table III.
+package core
+
+import (
+	"fmt"
+
+	"hog/internal/disk"
+	"hog/internal/grid"
+	"hog/internal/hdfs"
+	"hog/internal/mapred"
+	"hog/internal/metrics"
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+	"hog/internal/topology"
+	"hog/internal/workload"
+)
+
+// ZombieMode selects how preempted worker daemons behave (§IV.D.1).
+type ZombieMode int
+
+// Zombie handling modes.
+const (
+	// ZombieFixed is HOG's final behaviour: daemons run as direct children
+	// of the wrapper script, so the site's kill of the process tree takes
+	// them down immediately.
+	ZombieFixed ZombieMode = iota
+	// ZombieUnfixed reproduces the first HOG iteration: double-forked
+	// daemons survive the kill. The site deletes the working directory, the
+	// datanode fails, but the tasktracker keeps heartbeating and accepting
+	// tasks that fail immediately.
+	ZombieUnfixed
+	// ZombieDiskCheck is the paper's first fix: double-forked daemons
+	// periodically probe the working directory (every 3 minutes) and shut
+	// themselves down when it is gone.
+	ZombieDiskCheck
+)
+
+// String names the mode.
+func (z ZombieMode) String() string {
+	switch z {
+	case ZombieFixed:
+		return "fixed"
+	case ZombieUnfixed:
+		return "unfixed"
+	case ZombieDiskCheck:
+		return "disk-check"
+	}
+	return "unknown"
+}
+
+// JobCosts holds the loadgen-like cost model shared by all benchmark jobs.
+type JobCosts struct {
+	MapCostPerMB      sim.Time
+	SortCostPerMB     sim.Time
+	ReduceCostPerMB   sim.Time
+	MapSelectivity    float64
+	ReduceSelectivity float64
+}
+
+// DefaultJobCosts returns the calibrated cost model (see DESIGN.md §5).
+// Calibration target: the Table III cluster finishes the 88-job Facebook
+// schedule in the paper's observed ~3000 s band, with the map phase
+// dominating — the paper's equivalence point of ~100 single-slot HOG nodes
+// against the cluster's 100 map slots requires map-side work to be the
+// bottleneck resource.
+func DefaultJobCosts() JobCosts {
+	return JobCosts{
+		MapCostPerMB:      1500 * sim.Millisecond,
+		SortCostPerMB:     20 * sim.Millisecond,
+		ReduceCostPerMB:   150 * sim.Millisecond,
+		MapSelectivity:    1.0,
+		ReduceSelectivity: 0.5,
+	}
+}
+
+// StaticGroup describes one homogeneous group of permanent cluster nodes
+// (used for the Table III dedicated cluster).
+type StaticGroup struct {
+	Count       int
+	MapSlots    int
+	ReduceSlots int
+	DiskBytes   float64
+	Domain      string
+	// Speed derates compute on this group (1.0 = nominal); Table III's
+	// older single-core Opteron-64 slaves run slot-for-slot slower than
+	// the dual-core Opteron-275 group.
+	Speed float64
+}
+
+// Config describes a complete system. Exactly one of Grid or Static drives
+// the worker supply.
+type Config struct {
+	Seed int64
+
+	// Grid configures an elastic glide-in worker pool.
+	Grid *GridConfig
+	// Static configures a fixed dedicated cluster.
+	Static []StaticGroup
+
+	Net    netmodel.Config
+	HDFS   hdfs.Config
+	MapRed mapred.Config
+	Costs  JobCosts
+
+	// Zombie selects preemption daemon behaviour (grid systems only).
+	Zombie ZombieMode
+	// DiskCheckInterval is the zombie self-check period (ZombieDiskCheck).
+	DiskCheckInterval sim.Time
+	// SampleInterval for the reported-alive node series.
+	SampleInterval sim.Time
+	// RunBound aborts a workload run that exceeds this simulated time.
+	RunBound sim.Time
+}
+
+// GridConfig holds the grid-specific parts of a Config.
+type GridConfig struct {
+	TargetNodes int
+	Sites       []grid.SiteConfig
+	Pool        grid.PoolConfig
+	// ProvisionBound caps the wait for the pool to first reach its target.
+	ProvisionBound sim.Time
+}
+
+// HOGConfig returns the paper's HOG configuration at the given pool size and
+// churn profile: five OSG sites, 1+1 slots per node, replication 10,
+// site-aware placement, 30 s dead timeouts for both masters.
+func HOGConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Config {
+	mr := mapred.DefaultConfig()
+	mr.TrackerTimeout = 30 * sim.Second
+	// WAN RPC between trackers and the central JobTracker inflates task
+	// startup (§III.B.2: "it is expected that the startup and data transfer
+	// initiations will be increased").
+	mr.TaskStartupOverhead = 2000 * sim.Millisecond
+	return Config{
+		Seed: seed,
+		Grid: &GridConfig{
+			TargetNodes:    targetNodes,
+			Sites:          grid.OSGSites(churn),
+			Pool:           grid.DefaultPoolConfig(),
+			ProvisionBound: 4 * sim.Hour,
+		},
+		Net:               netmodel.DefaultConfig(),
+		HDFS:              hdfs.HOGConfig(),
+		MapRed:            mr,
+		Costs:             DefaultJobCosts(),
+		Zombie:            ZombieFixed,
+		DiskCheckInterval: 3 * sim.Minute,
+		SampleInterval:    10 * sim.Second,
+		RunBound:          48 * sim.Hour,
+	}
+}
+
+// DedicatedClusterConfig returns the Table III comparison cluster: one
+// master (implicit, the stable server), 20 slave nodes with 4 map + 1 reduce
+// slots and 10 with 2 map + 1 reduce slots, 1 Gbps Ethernet, one rack,
+// stock Hadoop settings (replication 3).
+func DedicatedClusterConfig(seed int64) Config {
+	// Hardware-era calibration: the Table III boxes are 2006-generation
+	// Opterons with commodity disks, whereas 2012 OSG worker nodes are
+	// newer. The cluster gets slightly slower disks, and the older
+	// single-core Opteron-64 group a per-slot compute derating — the two
+	// free parameters of the Figure 4 calibration (see EXPERIMENTS.md).
+	net := netmodel.DefaultConfig()
+	net.DiskBps = 80e6
+	return Config{
+		Seed: seed,
+		Static: []StaticGroup{
+			{Count: 20, MapSlots: 4, ReduceSlots: 1, DiskBytes: 500e9, Domain: "cluster.local", Speed: 1.0},
+			{Count: 10, MapSlots: 2, ReduceSlots: 1, DiskBytes: 500e9, Domain: "cluster.local", Speed: 0.85},
+		},
+		Net:            net,
+		HDFS:           hdfs.DefaultConfig(),
+		MapRed:         mapred.DefaultConfig(),
+		Costs:          DefaultJobCosts(),
+		SampleInterval: 10 * sim.Second,
+		RunBound:       48 * sim.Hour,
+	}
+}
+
+type workerHealth int
+
+const (
+	workerHealthy workerHealth = iota
+	workerZombie
+	workerDead
+)
+
+type worker struct {
+	node   *grid.Node
+	id     netmodel.NodeID
+	health workerHealth
+}
+
+// System is a running HOG or dedicated-cluster instance.
+type System struct {
+	Eng  *sim.Engine
+	Net  *netmodel.Network
+	Disk *disk.Tracker
+	Pool *grid.Pool // nil for static clusters
+	NN   *hdfs.Namenode
+	JT   *mapred.JobTracker
+
+	cfg     Config
+	mapper  *topology.Mapper
+	workers map[netmodel.NodeID]*worker
+	order   []netmodel.NodeID
+
+	// Reported tracks the node count the masters believe alive; it can
+	// exceed the target momentarily because departed nodes linger until
+	// their heartbeat timeout (paper §IV.B).
+	Reported *metrics.Series
+
+	zombies int
+}
+
+// New builds a system from cfg. For grid systems the pool target is set but
+// provisioning has not run yet; call AwaitNodes or RunWorkload.
+func New(cfg Config) *System {
+	if (cfg.Grid == nil) == (len(cfg.Static) == 0) {
+		panic("core: exactly one of Grid or Static must be configured")
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 10 * sim.Second
+	}
+	if cfg.RunBound <= 0 {
+		cfg.RunBound = 48 * sim.Hour
+	}
+	if cfg.DiskCheckInterval <= 0 {
+		cfg.DiskCheckInterval = 3 * sim.Minute
+	}
+	if cfg.Costs == (JobCosts{}) {
+		cfg.Costs = DefaultJobCosts()
+	}
+	s := &System{
+		Eng:      sim.New(cfg.Seed),
+		cfg:      cfg,
+		mapper:   topology.NewMapper(),
+		workers:  make(map[netmodel.NodeID]*worker),
+		Reported: metrics.NewSeries("reported-nodes"),
+	}
+	s.Net = netmodel.New(s.Eng, cfg.Net)
+	s.Disk = disk.NewTracker()
+	s.NN = hdfs.NewNamenode(s.Eng, s.Net, s.Disk, cfg.HDFS)
+	s.JT = mapred.NewJobTracker(s.Eng, s.Net, s.NN, s.Disk, cfg.MapRed)
+	s.JT.DiskUsable = func(n netmodel.NodeID) bool {
+		w := s.workers[n]
+		return w != nil && w.health == workerHealthy
+	}
+	s.JT.DataServable = func(n netmodel.NodeID) bool {
+		w := s.workers[n]
+		return w != nil && w.health == workerHealthy
+	}
+	s.JT.OnDiskOverflow = s.onDiskOverflow
+	s.NN.Start()
+	s.JT.Start()
+
+	if cfg.Grid != nil {
+		s.Pool = grid.NewPool(s.Eng, s.Net, cfg.Grid.Sites, cfg.Grid.Pool)
+		s.Pool.OnJoin = s.onJoin
+		s.Pool.OnPreempt = s.onPreempt
+	} else {
+		s.buildStatic()
+	}
+
+	// Heartbeat driver: healthy workers report to both masters, zombies
+	// only to the JobTracker (their datanode died with the working dir).
+	hb := s.JT.Config().HeartbeatInterval
+	s.Eng.Every(hb, func() {
+		for _, id := range s.order {
+			switch s.workers[id].health {
+			case workerHealthy:
+				s.NN.Heartbeat(id)
+				s.JT.Heartbeat(id)
+			case workerZombie:
+				s.JT.Heartbeat(id)
+			}
+		}
+	})
+	s.Eng.Every(cfg.SampleInterval, func() {
+		s.Reported.Add(s.Eng.Now(), float64(s.reportedAlive()))
+	})
+	return s
+}
+
+// reportedAlive counts trackers the JobTracker still believes alive.
+func (s *System) reportedAlive() int {
+	n := 0
+	for _, id := range s.order {
+		if t := s.JT.Tracker(id); t != nil && t.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Zombies returns the number of currently zombie workers.
+func (s *System) Zombies() int { return s.zombies }
+
+func (s *System) buildStatic() {
+	site := s.Net.AddSite("cluster.local", 10e9, 10e9)
+	seq := 0
+	for _, g := range s.cfg.Static {
+		for i := 0; i < g.Count; i++ {
+			seq++
+			host := fmt.Sprintf("node%03d.%s", seq, g.Domain)
+			id := s.Net.AddNode(site, host)
+			s.Disk.SetCapacity(id, g.DiskBytes)
+			s.NN.Register(id, host)
+			tr := s.JT.RegisterTracker(id, host, s.mapper.Site(host), g.MapSlots, g.ReduceSlots)
+			if g.Speed > 0 {
+				tr.Speed = g.Speed
+			}
+			s.workers[id] = &worker{id: id, health: workerHealthy}
+			s.order = append(s.order, id)
+		}
+	}
+}
+
+// onJoin starts the Hadoop daemons on a fresh glide-in.
+func (s *System) onJoin(n *grid.Node) {
+	s.Disk.SetCapacity(n.ID, n.DiskCapacity)
+	s.NN.Register(n.ID, n.Hostname)
+	s.JT.RegisterTracker(n.ID, n.Hostname, s.mapper.Site(n.Hostname), n.MapSlots, n.ReduceSlots)
+	s.workers[n.ID] = &worker{node: n, id: n.ID, health: workerHealthy}
+	s.order = append(s.order, n.ID)
+}
+
+// onPreempt applies the configured daemon behaviour when a site kills the
+// glide-in and removes its working directory.
+func (s *System) onPreempt(n *grid.Node) {
+	w := s.workers[n.ID]
+	if w == nil || w.health == workerDead {
+		return
+	}
+	s.Disk.Clear(n.ID)
+	switch s.cfg.Zombie {
+	case ZombieFixed:
+		// Direct-child daemons die with the process tree: tasks stop
+		// silently and the JobTracker only notices at the heartbeat
+		// timeout.
+		w.health = workerDead
+		s.JT.NodeCrashed(n.ID)
+	case ZombieUnfixed:
+		// Double-forked daemons survive, the working directory does not:
+		// running tasks fail with reports and the tasktracker keeps
+		// accepting doomed work.
+		w.health = workerZombie
+		s.zombies++
+		s.JT.NodeLostWorkdir(n.ID)
+	case ZombieDiskCheck:
+		w.health = workerZombie
+		s.zombies++
+		s.JT.NodeLostWorkdir(n.ID)
+		// The periodic working-directory probe notices within one interval
+		// and shuts the daemons down.
+		delay := sim.Time(s.Eng.Rand().Int63n(int64(s.cfg.DiskCheckInterval))) + sim.Second
+		s.Eng.After(delay, func() {
+			if w.health == workerZombie {
+				w.health = workerDead
+				s.zombies--
+			}
+		})
+	}
+}
+
+// onDiskOverflow shuts down a worker that ran out of scratch space
+// (§IV.D.2): the failure is reported to the jobtracker and the daemons stop,
+// so the pool requests a replacement.
+func (s *System) onDiskOverflow(n netmodel.NodeID) {
+	w := s.workers[n]
+	if w == nil || w.health == workerDead {
+		return
+	}
+	if w.health == workerZombie {
+		s.zombies--
+	}
+	w.health = workerDead
+	s.JT.NodeCrashed(n)
+	if s.Pool != nil {
+		s.Pool.Kill(n)
+	}
+}
+
+// AwaitNodes runs the simulation until the pool reaches its configured
+// target (grid systems). It returns the reached node count.
+func (s *System) AwaitNodes() int {
+	if s.Pool == nil {
+		return len(s.order)
+	}
+	g := s.cfg.Grid
+	s.Pool.SetTarget(g.TargetNodes)
+	bound := s.Eng.Now() + g.ProvisionBound
+	s.Eng.RunWhile(func() bool {
+		return s.Pool.AliveCount() < g.TargetNodes && s.Eng.Now() < bound
+	})
+	return s.Pool.AliveCount()
+}
+
+// Result aggregates one workload execution.
+type Result struct {
+	// ResponseTime is the paper's headline metric: completion of the last
+	// job minus submission of the first.
+	ResponseTime sim.Time
+	Start, End   sim.Time
+
+	JobResponses []sim.Time
+	JobBins      []int
+	JobsFailed   int
+
+	// Area is the Table IV statistic: node-seconds of reported availability
+	// over the execution window.
+	Area     float64
+	Reported *metrics.Series
+
+	Pool grid.Stats
+	Net  netmodel.Stats
+	NN   hdfs.Stats
+
+	// MapLocality aggregates locality counters over all jobs.
+	MapLocality [3]int
+	// Counters aggregated over all jobs.
+	Counters mapred.Counters
+}
+
+// Summary returns response-time order statistics over jobs.
+func (r *Result) Summary() metrics.Summary { return metrics.Summarize(r.JobResponses) }
+
+// RunWorkload provisions (if needed), stages the schedule's input files,
+// submits jobs on schedule, and runs to completion. It mirrors the paper's
+// procedure: "we first configure a given number of nodes that HOG will
+// achieve and wait until HOG reaches this number. Then, we start to upload
+// input data and execute the evaluation workload."
+func (s *System) RunWorkload(sched *workload.Schedule) *Result {
+	s.AwaitNodes()
+	for _, js := range sched.Jobs {
+		s.NN.SeedFile("/in/"+js.Name, js.InputBytes, 0)
+	}
+	start := s.Eng.Now()
+	jobs := make([]*mapred.Job, len(sched.Jobs))
+	for i, js := range sched.Jobs {
+		i, js := i, js
+		s.Eng.Schedule(start+js.Submit, func() {
+			jobs[i] = s.JT.Submit(mapred.JobConfig{
+				Name:              js.Name,
+				InputFile:         "/in/" + js.Name,
+				Reduces:           js.Reduces,
+				MapSelectivity:    s.cfg.Costs.MapSelectivity,
+				ReduceSelectivity: s.cfg.Costs.ReduceSelectivity,
+				MapCostPerMB:      s.cfg.Costs.MapCostPerMB,
+				SortCostPerMB:     s.cfg.Costs.SortCostPerMB,
+				ReduceCostPerMB:   s.cfg.Costs.ReduceCostPerMB,
+				Bin:               js.Bin,
+			})
+		})
+	}
+	bound := start + s.cfg.RunBound
+	submitted := false
+	s.Eng.RunWhile(func() bool {
+		if !submitted {
+			submitted = s.Eng.Now() > start+sched.Span()
+		}
+		return !(submitted && s.JT.AllDone()) && s.Eng.Now() < bound
+	})
+	end := s.Eng.Now()
+
+	res := &Result{
+		ResponseTime: end - start,
+		Start:        start,
+		End:          end,
+		Reported:     s.Reported,
+		Area:         s.Reported.AreaBetween(start, end),
+		Net:          s.Net.Stats(),
+		NN:           s.NN.Stats(),
+	}
+	if s.Pool != nil {
+		res.Pool = s.Pool.Stats()
+	}
+	for _, j := range s.JT.Jobs() {
+		if j.State == mapred.JobFailed {
+			res.JobsFailed++
+		} else {
+			res.JobResponses = append(res.JobResponses, j.ResponseTime())
+			res.JobBins = append(res.JobBins, j.Config.Bin)
+		}
+		c := j.Counters()
+		for l := 0; l < 3; l++ {
+			res.MapLocality[l] += c.Locality[l]
+		}
+		res.Counters.MapAttemptsStarted += c.MapAttemptsStarted
+		res.Counters.MapAttemptsFailed += c.MapAttemptsFailed
+		res.Counters.ReduceAttemptsStarted += c.ReduceAttemptsStarted
+		res.Counters.ReduceAttemptsFailed += c.ReduceAttemptsFailed
+		res.Counters.SpeculativeMaps += c.SpeculativeMaps
+		res.Counters.SpeculativeReduces += c.SpeculativeReduces
+		res.Counters.MapsReExecuted += c.MapsReExecuted
+		res.Counters.FetchFailures += c.FetchFailures
+	}
+	return res
+}

@@ -1,0 +1,96 @@
+// Package disk tracks per-node scratch-disk usage shared between HDFS block
+// replicas and MapReduce intermediate output.
+//
+// The paper's §IV.D.2 ("Disk Overflow") observes that the high replication
+// factor plus slow WAN reduces let intermediate map output accumulate until
+// worker nodes run out of disk and fail. Modelling that failure mode requires
+// a single accounting of both consumers per node, which this package
+// provides.
+package disk
+
+import "hog/internal/netmodel"
+
+// Tracker accounts disk space per node. It is driven from the simulation
+// loop and is not safe for concurrent use.
+type Tracker struct {
+	capacity map[netmodel.NodeID]float64
+	used     map[netmodel.NodeID]float64
+	// OnOverflow, if set, is invoked when a Reserve fails; HOG wires this
+	// to the "worker node out of disk" failure path.
+	OnOverflow func(n netmodel.NodeID, requested float64)
+	overflows  int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		capacity: make(map[netmodel.NodeID]float64),
+		used:     make(map[netmodel.NodeID]float64),
+	}
+}
+
+// SetCapacity registers (or updates) a node's scratch capacity in bytes.
+func (t *Tracker) SetCapacity(n netmodel.NodeID, bytes float64) {
+	t.capacity[n] = bytes
+}
+
+// Capacity returns the node's capacity (0 for unknown nodes).
+func (t *Tracker) Capacity(n netmodel.NodeID) float64 { return t.capacity[n] }
+
+// Used returns the bytes currently reserved on the node.
+func (t *Tracker) Used(n netmodel.NodeID) float64 { return t.used[n] }
+
+// Free returns capacity minus used, never negative.
+func (t *Tracker) Free(n netmodel.NodeID) float64 {
+	f := t.capacity[n] - t.used[n]
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Utilization returns used/capacity in [0,1]; 0 for unknown or zero-capacity
+// nodes.
+func (t *Tracker) Utilization(n netmodel.NodeID) float64 {
+	c := t.capacity[n]
+	if c <= 0 {
+		return 0
+	}
+	return t.used[n] / c
+}
+
+// Reserve claims bytes on the node. It returns false — and fires OnOverflow —
+// if the claim does not fit; no space is consumed in that case.
+func (t *Tracker) Reserve(n netmodel.NodeID, bytes float64) bool {
+	if bytes < 0 {
+		panic("disk: negative reservation")
+	}
+	if t.used[n]+bytes > t.capacity[n] {
+		t.overflows++
+		if t.OnOverflow != nil {
+			t.OnOverflow(n, bytes)
+		}
+		return false
+	}
+	t.used[n] += bytes
+	return true
+}
+
+// Release returns bytes to the node. Releasing more than is used clamps to
+// zero: a node whose data was already cleared may receive late releases.
+func (t *Tracker) Release(n netmodel.NodeID, bytes float64) {
+	if bytes < 0 {
+		panic("disk: negative release")
+	}
+	t.used[n] -= bytes
+	if t.used[n] < 0 {
+		t.used[n] = 0
+	}
+}
+
+// Clear drops all usage on a node (the site wiped the working directory
+// after preemption) but keeps its capacity registered.
+func (t *Tracker) Clear(n netmodel.NodeID) { t.used[n] = 0 }
+
+// Overflows returns the number of failed reservations so far.
+func (t *Tracker) Overflows() int { return t.overflows }

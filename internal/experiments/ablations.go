@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/hod"
+	"hog/internal/sim"
+	"hog/internal/workload"
+)
+
+// SiteFailureResult is one configuration's outcome under a whole-site
+// outage (A-SITE).
+type SiteFailureResult struct {
+	Label      string
+	Repl       int
+	SiteAware  bool
+	BlocksLost int
+	JobsFailed int
+	Response   sim.Time
+}
+
+// SiteFailure kills the largest site mid-run under the paper's configuration
+// (replication 10, site aware) and under a naive one (replication 2, flat).
+func SiteFailure(opts Options) []SiteFailureResult {
+	opts = opts.withDefaults()
+	cases := []struct {
+		label     string
+		repl      int
+		siteAware bool
+	}{
+		{"HOG (repl 10, site-aware)", 10, true},
+		{"naive (repl 2, flat)", 2, false},
+	}
+	var out []SiteFailureResult
+	for _, c := range cases {
+		cfg := core.HOGConfig(60, grid.ChurnNone, opts.Seeds[0])
+		cfg.HDFS.Replication = c.repl
+		cfg.HDFS.SiteAware = c.siteAware
+		sys := core.New(cfg)
+		// Provision first so the outage hits a populated, data-bearing site.
+		sys.AwaitNodes()
+		sys.Eng.After(300*sim.Second, func() { sys.Pool.PreemptSite(0, 1.0) })
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		out = append(out, SiteFailureResult{
+			Label: c.label, Repl: c.repl, SiteAware: c.siteAware,
+			BlocksLost: res.NN.BlocksLost, JobsFailed: res.JobsFailed,
+			Response: res.ResponseTime,
+		})
+	}
+	return out
+}
+
+// PrintSiteFailure prints A-SITE.
+func PrintSiteFailure(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-SITE: whole-site failure (site awareness ablation)")
+	fmt.Fprintln(w, "Config                       BlocksLost  JobsFailed  Response(s)")
+	for _, r := range SiteFailure(opts) {
+		fmt.Fprintf(w, "%-28s %10d  %10d  %11.0f\n", r.Label, r.BlocksLost, r.JobsFailed, r.Response.Seconds())
+	}
+}
+
+// ReplicationResult is one replication factor's outcome (A-REPL).
+type ReplicationResult struct {
+	Repl            int
+	JobsFailed      int
+	BlocksLost      int
+	Response        sim.Time
+	BytesReplicated float64
+	CrossSiteBytes  float64
+}
+
+// ReplicationSweep varies the replication factor under unstable churn,
+// exposing the paper's trade-off: "Too many replicas would impose extra
+// replication overhead ... Too few would cause frequent data failures."
+func ReplicationSweep(opts Options) []ReplicationResult {
+	opts = opts.withDefaults()
+	var out []ReplicationResult
+	for _, repl := range []int{3, 5, 10, 15} {
+		cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
+		cfg.HDFS.Replication = repl
+		sys := core.New(cfg)
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		out = append(out, ReplicationResult{
+			Repl: repl, JobsFailed: res.JobsFailed, BlocksLost: res.NN.BlocksLost,
+			Response: res.ResponseTime, BytesReplicated: res.NN.BytesReplicated,
+			CrossSiteBytes: res.Net.BytesCrossSite,
+		})
+	}
+	return out
+}
+
+// PrintReplicationSweep prints A-REPL.
+func PrintReplicationSweep(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-REPL: replication factor under unstable churn (60 nodes)")
+	fmt.Fprintln(w, "Repl  JobsFailed  BlocksLost  Response(s)  ReplTraffic(GB)  CrossSite(GB)")
+	for _, r := range ReplicationSweep(opts) {
+		fmt.Fprintf(w, "%4d  %10d  %10d  %11.0f  %15.1f  %13.1f\n",
+			r.Repl, r.JobsFailed, r.BlocksLost, r.Response.Seconds(),
+			r.BytesReplicated/1e9, r.CrossSiteBytes/1e9)
+	}
+}
+
+// HeartbeatResult is one dead-timeout setting's outcome (A-HB).
+type HeartbeatResult struct {
+	Timeout    sim.Time
+	Response   sim.Time
+	JobsFailed int
+}
+
+// HeartbeatSweep compares HOG's 30 s dead timeout against the traditional
+// 15 minutes under unstable churn.
+func HeartbeatSweep(opts Options) []HeartbeatResult {
+	opts = opts.withDefaults()
+	var out []HeartbeatResult
+	for _, timeout := range []sim.Time{30 * sim.Second, 900 * sim.Second} {
+		cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
+		cfg.HDFS.DeadTimeout = timeout
+		cfg.MapRed.TrackerTimeout = timeout
+		sys := core.New(cfg)
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		out = append(out, HeartbeatResult{Timeout: timeout, Response: res.ResponseTime, JobsFailed: res.JobsFailed})
+	}
+	return out
+}
+
+// PrintHeartbeatSweep prints A-HB.
+func PrintHeartbeatSweep(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-HB: dead-node timeout under unstable churn (60 nodes)")
+	fmt.Fprintln(w, "Timeout(s)  Response(s)  JobsFailed")
+	for _, r := range HeartbeatSweep(opts) {
+		fmt.Fprintf(w, "%10.0f  %11.0f  %10d\n", r.Timeout.Seconds(), r.Response.Seconds(), r.JobsFailed)
+	}
+}
+
+// ZombieResult is one zombie-handling mode's outcome (A-ZOMBIE).
+type ZombieResult struct {
+	Mode           core.ZombieMode
+	Response       sim.Time
+	FailedAttempts int
+	FetchFailures  int
+	JobsFailed     int
+}
+
+// ZombieSweep compares the three §IV.D.1 behaviours under unstable churn.
+func ZombieSweep(opts Options) []ZombieResult {
+	opts = opts.withDefaults()
+	var out []ZombieResult
+	for _, mode := range []core.ZombieMode{core.ZombieUnfixed, core.ZombieDiskCheck, core.ZombieFixed} {
+		cfg := core.HOGConfig(55, grid.ChurnUnstable, opts.Seeds[0])
+		cfg.Zombie = mode
+		sys := core.New(cfg)
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		out = append(out, ZombieResult{
+			Mode:           mode,
+			Response:       res.ResponseTime,
+			FailedAttempts: res.Counters.MapAttemptsFailed + res.Counters.ReduceAttemptsFailed,
+			FetchFailures:  res.Counters.FetchFailures,
+			JobsFailed:     res.JobsFailed,
+		})
+	}
+	return out
+}
+
+// PrintZombieSweep prints A-ZOMBIE.
+func PrintZombieSweep(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-ZOMBIE: abandoned datanodes (55 nodes, unstable churn)")
+	fmt.Fprintln(w, "Mode        Response(s)  FailedAttempts  FetchFailures  JobsFailed")
+	for _, r := range ZombieSweep(opts) {
+		fmt.Fprintf(w, "%-10s  %11.0f  %14d  %13d  %10d\n",
+			r.Mode, r.Response.Seconds(), r.FailedAttempts, r.FetchFailures, r.JobsFailed)
+	}
+}
+
+// DiskOverflowResult is one scratch-size outcome (A-DISK).
+type DiskOverflowResult struct {
+	DiskGB    float64
+	Overflows int
+	Killed    int
+	Response  sim.Time
+}
+
+// DiskOverflow shrinks worker scratch space until intermediate map output
+// accumulation kills workers (§IV.D.2). Disk sizes are set relative to the
+// workload's replicated input footprint per node, so the experiment is
+// meaningful at any Scale: ample (10x), tight (1.6x), and overflowing
+// (1.15x — input fits, but lingering intermediate output does not).
+func DiskOverflow(opts Options) []DiskOverflowResult {
+	opts = opts.withDefaults()
+	const nodes = 60
+	s := sched(opts.Seeds[0], opts.Scale)
+	var inputBytes float64
+	for _, j := range s.Jobs {
+		inputBytes += j.InputBytes
+	}
+	perNode := inputBytes * 10 / nodes // replication 10
+	var out []DiskOverflowResult
+	for _, factor := range []float64{10, 1.6, 1.15} {
+		diskGB := perNode * factor / 1e9
+		cfg := core.HOGConfig(nodes, grid.ChurnNone, opts.Seeds[0])
+		cfg.Grid.Pool.DiskBytesPerNode = diskGB * 1e9
+		// Slow the reduces so intermediate output lingers, as the paper's
+		// WAN-bound reduces did.
+		cfg.Costs.ReduceCostPerMB = 400 * sim.Millisecond
+		sys := core.New(cfg)
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		out = append(out, DiskOverflowResult{
+			DiskGB:    diskGB,
+			Overflows: sys.Disk.Overflows(),
+			Killed:    res.Pool.Killed,
+			Response:  res.ResponseTime,
+		})
+	}
+	return out
+}
+
+// PrintDiskOverflow prints A-DISK.
+func PrintDiskOverflow(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-DISK: worker scratch size vs. disk overflow (60 nodes)")
+	fmt.Fprintln(w, "Disk(GB)  Overflows  WorkersKilled  Response(s)")
+	for _, r := range DiskOverflow(opts) {
+		fmt.Fprintf(w, "%8.0f  %9d  %13d  %11.0f\n", r.DiskGB, r.Overflows, r.Killed, r.Response.Seconds())
+	}
+}
+
+// NCopyResult is one redundant-copy setting's outcome (A-NCOPY).
+type NCopyResult struct {
+	Copies      int
+	Eager       bool
+	Response    sim.Time
+	Speculative int
+}
+
+// RedundantCopies explores the paper's future work (§VI): configurable
+// numbers of task copies with the fastest taken as the result, versus stock
+// speculation (2 copies, stragglers only) and no speculation.
+func RedundantCopies(opts Options) []NCopyResult {
+	opts = opts.withDefaults()
+	cases := []struct {
+		copies int
+		eager  bool
+		spec   bool
+	}{
+		{1, false, false}, // no speculation at all
+		{2, false, true},  // stock Hadoop speculation
+		{2, true, true},   // future work: eager duplicates
+		{3, true, true},   // future work: triple execution
+	}
+	var out []NCopyResult
+	for _, c := range cases {
+		cfg := core.HOGConfig(80, grid.ChurnUnstable, opts.Seeds[0])
+		cfg.MapRed.Speculative = c.spec
+		cfg.MapRed.MaxTaskCopies = c.copies
+		cfg.MapRed.EagerRedundancy = c.eager
+		sys := core.New(cfg)
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		out = append(out, NCopyResult{
+			Copies: c.copies, Eager: c.eager,
+			Response:    res.ResponseTime,
+			Speculative: res.Counters.SpeculativeMaps + res.Counters.SpeculativeReduces,
+		})
+	}
+	return out
+}
+
+// PrintRedundantCopies prints A-NCOPY.
+func PrintRedundantCopies(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-NCOPY: redundant task copies under unstable churn (80 nodes)")
+	fmt.Fprintln(w, "Copies  Eager  Response(s)  ExtraAttempts")
+	for _, r := range RedundantCopies(opts) {
+		fmt.Fprintf(w, "%6d  %5v  %11.0f  %13d\n", r.Copies, r.Eager, r.Response.Seconds(), r.Speculative)
+	}
+}
+
+// DelayResult is one scheduler setting's outcome (A-DELAY).
+type DelayResult struct {
+	Wait         sim.Time
+	Response     sim.Time
+	NodeLocal    int
+	NonLocal     int
+	LocalityRate float64
+}
+
+// DelayScheduling compares HOG's plain FIFO against delay scheduling
+// (Zaharia et al. [3], the paper's workload source) at a low replication
+// factor where locality is scarce.
+func DelayScheduling(opts Options) []DelayResult {
+	opts = opts.withDefaults()
+	var out []DelayResult
+	for _, wait := range []sim.Time{0, 15 * sim.Second, 45 * sim.Second} {
+		cfg := core.HOGConfig(60, grid.ChurnStable, opts.Seeds[0])
+		cfg.HDFS.Replication = 2 // make locality contended
+		cfg.MapRed.LocalityWait = wait
+		sys := core.New(cfg)
+		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+		local := res.MapLocality[0]
+		nonLocal := res.MapLocality[1] + res.MapLocality[2]
+		rate := 0.0
+		if local+nonLocal > 0 {
+			rate = float64(local) / float64(local+nonLocal)
+		}
+		out = append(out, DelayResult{
+			Wait: wait, Response: res.ResponseTime,
+			NodeLocal: local, NonLocal: nonLocal, LocalityRate: rate,
+		})
+	}
+	return out
+}
+
+// PrintDelayScheduling prints A-DELAY.
+func PrintDelayScheduling(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-DELAY: FIFO vs delay scheduling (60 nodes, replication 2)")
+	fmt.Fprintln(w, "Wait(s)  Response(s)  NodeLocal  NonLocal  LocalityRate")
+	for _, r := range DelayScheduling(opts) {
+		fmt.Fprintf(w, "%7.0f  %11.0f  %9d  %8d  %11.1f%%\n",
+			r.Wait.Seconds(), r.Response.Seconds(), r.NodeLocal, r.NonLocal, 100*r.LocalityRate)
+	}
+}
+
+// HODResultRow compares HOD with HOG on the same schedule (A-HOD).
+type HODResultRow struct {
+	System         string
+	Response       sim.Time
+	Reconstruction sim.Time
+}
+
+// HODComparison runs a schedule under HOD (per-job clusters) and under a
+// persistent HOG pool of the same size. The comparison uses the workload's
+// small-job bins (1-3, ~77% of Facebook jobs): the paper's critique of HOD
+// is per-request reconstruction overhead, which dominates exactly for
+// "frequent MapReduce requests" of short jobs. For rare long jobs HOD's
+// private clusters can win — that is not the regime either system targets.
+func HODComparison(opts Options) []HODResultRow {
+	opts = opts.withDefaults()
+	scale := opts.Scale
+	if scale > 0.5 {
+		scale = 0.5
+	}
+	s := workload.Generate(opts.Seeds[0], workload.Config{
+		Bins:  workload.Table2()[:3],
+		Scale: scale,
+	})
+	hodRes := hod.Run(s, hod.DefaultConfig(30, opts.Seeds[0]))
+	sys := core.New(core.HOGConfig(30, grid.ChurnStable, opts.Seeds[0]))
+	hogRes := sys.RunWorkload(s)
+	return []HODResultRow{
+		{"HOD (per-job clusters)", hodRes.ResponseTime, hodRes.ReconstructionOverhead},
+		{"HOG (persistent pool)", hogRes.ResponseTime, 0},
+	}
+}
+
+// PrintHODComparison prints A-HOD.
+func PrintHODComparison(w io.Writer, opts Options) {
+	fmt.Fprintln(w, "A-HOD: Hadoop On Demand vs. HOG (30 nodes)")
+	fmt.Fprintln(w, "System                   Response(s)  Reconstruction(s)")
+	for _, r := range HODComparison(opts) {
+		fmt.Fprintf(w, "%-24s %11.0f  %17.0f\n", r.System, r.Response.Seconds(), r.Reconstruction.Seconds())
+	}
+}

@@ -1,0 +1,259 @@
+// Package experiments implements the paper's evaluation section as callable
+// experiment harnesses: one function per table and figure, plus the ablation
+// studies DESIGN.md calls out. cmd/hogbench prints their rows; bench_test.go
+// wraps them in testing.B benchmarks; EXPERIMENTS.md records paper-versus-
+// measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/metrics"
+	"hog/internal/sim"
+	"hog/internal/workload"
+)
+
+// Options controls experiment cost.
+type Options struct {
+	// Scale multiplies the workload's per-bin job counts (1.0 = the paper's
+	// 88 jobs).
+	Scale float64
+	// Seeds are the per-point repetitions (the paper performs 3 runs per
+	// sampling point).
+	Seeds []int64
+	// Nodes overrides the Figure 4 sweep points.
+	Nodes []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1, 2, 3}
+	}
+	return o
+}
+
+// Quick returns cheap options for smoke runs and benchmarks.
+func Quick() Options {
+	return Options{Scale: 0.25, Seeds: []int64{1}, Nodes: []int{40, 55, 100, 180}}
+}
+
+// Full returns the paper-scale options.
+func Full() Options {
+	return Options{
+		Scale: 1.0,
+		Seeds: []int64{1, 2, 3},
+		// The sampling points on the paper's Figure 4 x-axis.
+		Nodes: []int{40, 50, 55, 60, 99, 100, 132, 160, 171, 180, 974, 1101},
+	}
+}
+
+func sched(seed int64, scale float64) *workload.Schedule {
+	return workload.Generate(seed, workload.Config{Scale: scale})
+}
+
+// ---------------------------------------------------------------- Table I/II
+
+// PrintTable1 prints the Facebook bin distribution and validates a generated
+// schedule against it.
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table I: Facebook production workload bins")
+	fmt.Fprintln(w, "Bin  #Maps  %Jobs@FB  #Maps(bench)  #Jobs(bench)")
+	for _, b := range workload.Table1() {
+		fmt.Fprintf(w, "%3d  %-9s %5.0f%%  %12d  %12d\n",
+			b.Bin, b.MapsAtFacebook, b.PercentAtFacebook, b.Maps, b.Jobs)
+	}
+	s := sched(1, 1.0)
+	count := map[int]int{}
+	for _, j := range s.Jobs {
+		count[j.Bin]++
+	}
+	fmt.Fprintf(w, "generated schedule: %d jobs, bins %v, span %.0fs\n",
+		len(s.Jobs), countsInOrder(count), s.Span().Seconds())
+}
+
+// PrintTable2 prints the truncated six-bin workload.
+func PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table II: truncated workload (bins 1-6, 88 jobs)")
+	fmt.Fprintln(w, "Bin  MapTasks  ReduceTasks  Jobs")
+	for _, b := range workload.Table2() {
+		fmt.Fprintf(w, "%3d  %8d  %11d  %4d\n", b.Bin, b.Maps, b.Reduces, b.Jobs)
+	}
+	fmt.Fprintf(w, "total: %d jobs, %d map tasks\n",
+		workload.TotalJobs(workload.Table2()), workload.TotalMaps(workload.Table2()))
+}
+
+func countsInOrder(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// ----------------------------------------------------------------- Table III
+
+// Table3Result is the dedicated-cluster baseline measurement.
+type Table3Result struct {
+	Nodes, MapSlots, ReduceSlots int
+	Response                     sim.Time
+}
+
+// Table3 builds the Table III cluster, audits its shape, and measures the
+// workload response that forms Figure 4's dashed line.
+func Table3(opts Options) Table3Result {
+	opts = opts.withDefaults()
+	sys := core.New(core.DedicatedClusterConfig(opts.Seeds[0]))
+	r := Table3Result{}
+	for _, t := range sys.JT.AliveTrackers() {
+		r.Nodes++
+		r.MapSlots += t.MapSlots
+		r.ReduceSlots += t.ReduceSlots
+	}
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	r.Response = res.ResponseTime
+	return r
+}
+
+// PrintTable3 prints the cluster audit and baseline.
+func PrintTable3(w io.Writer, opts Options) {
+	r := Table3(opts)
+	fmt.Fprintln(w, "Table III: dedicated MapReduce cluster")
+	fmt.Fprintf(w, "nodes=%d (paper: 30)  map slots=%d (paper: 100 cores -> 100)  reduce slots=%d (paper: 30)\n",
+		r.Nodes, r.MapSlots, r.ReduceSlots)
+	fmt.Fprintf(w, "workload response: %.0f s (Figure 4 dashed line)\n", r.Response.Seconds())
+}
+
+// ----------------------------------------------------------------- Figure 4
+
+// Fig4Point is one x-position of Figure 4.
+type Fig4Point struct {
+	Nodes     int
+	Responses []sim.Time
+	Mean      sim.Time
+}
+
+// Fig4Result is the equivalent-performance experiment.
+type Fig4Result struct {
+	Cluster   sim.Time
+	Points    []Fig4Point
+	Crossover int // smallest HOG size whose mean beats the cluster
+}
+
+// Fig4 sweeps HOG pool sizes against the dedicated cluster (stable churn,
+// the paper's §IV.B procedure: reach the target size, then upload data and
+// run; several runs per sampling point).
+func Fig4(opts Options) Fig4Result {
+	opts = opts.withDefaults()
+	if len(opts.Nodes) == 0 {
+		opts.Nodes = Full().Nodes
+	}
+	res := Fig4Result{Crossover: -1}
+	cl := core.New(core.DedicatedClusterConfig(opts.Seeds[0]))
+	res.Cluster = cl.RunWorkload(sched(opts.Seeds[0], opts.Scale)).ResponseTime
+	for _, n := range opts.Nodes {
+		p := Fig4Point{Nodes: n}
+		var sum sim.Time
+		for _, seed := range opts.Seeds {
+			sys := core.New(core.HOGConfig(n, grid.ChurnStable, seed))
+			r := sys.RunWorkload(sched(seed, opts.Scale))
+			p.Responses = append(p.Responses, r.ResponseTime)
+			sum += r.ResponseTime
+		}
+		p.Mean = sum / sim.Time(len(opts.Seeds))
+		res.Points = append(res.Points, p)
+		if res.Crossover < 0 && p.Mean <= res.Cluster {
+			res.Crossover = n
+		}
+	}
+	return res
+}
+
+// PrintFig4 prints the equivalent-performance series.
+func PrintFig4(w io.Writer, opts Options) {
+	r := Fig4(opts)
+	fmt.Fprintln(w, "Figure 4: HOG vs. cluster equivalent performance")
+	fmt.Fprintf(w, "cluster (100 cores): %.0f s\n", r.Cluster.Seconds())
+	fmt.Fprintln(w, "HOG nodes   runs(s)                    mean(s)   vs cluster")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%9d   ", p.Nodes)
+		for _, resp := range p.Responses {
+			fmt.Fprintf(w, "%7.0f ", resp.Seconds())
+		}
+		fmt.Fprintf(w, "  %7.0f   %+6.1f%%\n", p.Mean.Seconds(),
+			100*(p.Mean.Seconds()/r.Cluster.Seconds()-1))
+	}
+	if r.Crossover >= 0 {
+		fmt.Fprintf(w, "crossover (equivalent performance) at %d nodes (paper: [99,100])\n", r.Crossover)
+	} else {
+		fmt.Fprintln(w, "no crossover within the swept range")
+	}
+}
+
+// ---------------------------------------------------------- Figure 5 / T IV
+
+// FluctuationRun is one Figure 5 sub-figure with its Table IV row.
+type FluctuationRun struct {
+	Label    string
+	Response sim.Time
+	Area     float64
+	Series   *metrics.Series
+	Start    sim.Time
+	End      sim.Time
+}
+
+// Fig5Table4 performs the three 55-node executions: two stable, one
+// unstable, reporting response time and area beneath the availability curve.
+func Fig5Table4(opts Options) []FluctuationRun {
+	opts = opts.withDefaults()
+	runs := []struct {
+		label string
+		churn grid.ChurnProfile
+		seed  int64
+	}{
+		{"5a (55 stable nodes)", grid.ChurnStable, 31},
+		{"5b (55 stable nodes)", grid.ChurnStable, 32},
+		{"5c (55 unstable nodes)", grid.ChurnUnstable, 31},
+	}
+	var out []FluctuationRun
+	for _, rn := range runs {
+		sys := core.New(core.HOGConfig(55, rn.churn, rn.seed))
+		res := sys.RunWorkload(sched(7, opts.Scale))
+		out = append(out, FluctuationRun{
+			Label:    rn.label,
+			Response: res.ResponseTime,
+			Area:     res.Area,
+			Series:   res.Reported,
+			Start:    res.Start,
+			End:      res.End,
+		})
+	}
+	return out
+}
+
+// PrintFig5Table4 prints the fluctuation plots and the Table IV rows.
+func PrintFig5Table4(w io.Writer, opts Options) {
+	runs := Fig5Table4(opts)
+	fmt.Fprintln(w, "Figure 5 / Table IV: node fluctuation at 55 nodes")
+	fmt.Fprintln(w, "Run                       Response(s)   Area(node-s)")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-25s %11.0f   %12.0f\n", r.Label, r.Response.Seconds(), r.Area)
+	}
+	for _, r := range runs {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, r.Series.ASCIIPlot(68, 8, r.Start, r.End))
+	}
+	fmt.Fprintln(w, "\npaper shape: the unstable run has both the longest response time and")
+	fmt.Fprintln(w, "the largest fluctuation; response time tracks node-curve area.")
+}

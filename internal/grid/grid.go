@@ -1,0 +1,369 @@
+// Package grid simulates the Open Science Grid substrate HOG runs on: sites
+// with opportunistic worker-node slots, a Condor/GlideinWMS-style glide-in
+// pool that submits worker-node requests and elastically maintains a target
+// size, and the preemption behaviour the paper identifies as the largest
+// barrier (§I): individual node preemption at any time, and simultaneous
+// batch preemptions when a higher-priority user claims many slots at once
+// (§III.B.1).
+package grid
+
+import (
+	"fmt"
+
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+)
+
+// SiteConfig describes one grid site (paper Listing 1 restricts execution to
+// five sites with publicly reachable worker nodes).
+type SiteConfig struct {
+	// Name is the GLIDEIN_ResourceName, e.g. "FNAL_FERMIGRID".
+	Name string
+	// Domain is the last-two-label DNS suffix of the site's worker nodes;
+	// HOG's site awareness groups nodes by this value.
+	Domain string
+	// Capacity is the maximum number of glide-ins the site will run for us.
+	Capacity int
+	// Weight biases provisioning toward larger sites. Zero means use
+	// Capacity as the weight.
+	Weight float64
+	// NodeLifetime is the distribution of time until an individual glide-in
+	// is preempted by the remote batch system.
+	NodeLifetime sim.Dist
+	// BatchPreemptEvery is the distribution of time between site-wide batch
+	// preemption events; nil disables them.
+	BatchPreemptEvery sim.Dist
+	// BatchPreemptFrac is the fraction of our nodes at the site preempted
+	// per batch event.
+	BatchPreemptFrac float64
+	// UplinkBps and DownlinkBps size the site's WAN links.
+	UplinkBps, DownlinkBps float64
+}
+
+// PoolConfig holds glide-in pool parameters.
+type PoolConfig struct {
+	// ProvisionDelay is the time from requesting a worker node to the
+	// Hadoop daemons reporting in: batch queue wait, executable download
+	// (the 75 MB package, §III.A), extraction and startup.
+	ProvisionDelay sim.Dist
+	// DiskBytesPerNode is scratch space available on each worker.
+	DiskBytesPerNode float64
+	// MapSlots and ReduceSlots per worker; HOG uses 1 and 1 because a grid
+	// job is allocated one core (§IV.A).
+	MapSlots, ReduceSlots int
+}
+
+// Node is one glide-in worker. A preempted node is never resurrected: its
+// replacement is a fresh Node with a new ID, matching the paper's model where
+// replacements "have no data".
+type Node struct {
+	ID           netmodel.NodeID
+	Hostname     string
+	Site         int // index into the pool's site list
+	SiteName     string
+	Alive        bool
+	JoinedAt     sim.Time
+	PreemptedAt  sim.Time
+	DiskCapacity float64
+	MapSlots     int
+	ReduceSlots  int
+
+	lifetime *sim.Timer
+}
+
+// Stats counts pool events for reporting.
+type Stats struct {
+	Provisioned       int // nodes that joined
+	Preempted         int // individual lifetime preemptions
+	BatchPreempted    int // nodes lost to batch events
+	BatchEvents       int // number of batch events that hit >= 1 node
+	Killed            int // externally killed (e.g. disk overflow)
+	Released          int // voluntarily released on target decrease
+	RequestsSubmitted int
+}
+
+// Pool is the glide-in pool. All methods must be called from the simulation
+// loop.
+type Pool struct {
+	eng   *sim.Engine
+	net   *netmodel.Network
+	cfg   PoolConfig
+	sites []*siteRuntime
+
+	target   int
+	inflight int
+	alive    int
+	nodes    map[netmodel.NodeID]*Node
+	stats    Stats
+
+	// OnJoin is invoked when a node has started its daemons; OnPreempt when
+	// the site kills it (the process tree and working directory are gone).
+	OnJoin    func(*Node)
+	OnPreempt func(*Node)
+}
+
+type siteRuntime struct {
+	cfg     SiteConfig
+	netSite netmodel.SiteID
+	alive   int
+	hostSeq int
+}
+
+// NewPool registers the sites on net and returns a pool with target zero.
+func NewPool(eng *sim.Engine, net *netmodel.Network, sites []SiteConfig, cfg PoolConfig) *Pool {
+	if len(sites) == 0 {
+		panic("grid: NewPool with no sites")
+	}
+	if cfg.MapSlots <= 0 {
+		cfg.MapSlots = 1
+	}
+	if cfg.ReduceSlots <= 0 {
+		cfg.ReduceSlots = 1
+	}
+	if cfg.ProvisionDelay == nil {
+		cfg.ProvisionDelay = sim.Shifted{Offset: 30 * sim.Second, D: sim.Exponential{M: 60 * sim.Second}}
+	}
+	if cfg.DiskBytesPerNode <= 0 {
+		cfg.DiskBytesPerNode = 40e9
+	}
+	p := &Pool{eng: eng, net: net, cfg: cfg, nodes: make(map[netmodel.NodeID]*Node)}
+	for _, sc := range sites {
+		sr := &siteRuntime{cfg: sc}
+		sr.netSite = net.AddSite(sc.Name, sc.UplinkBps, sc.DownlinkBps)
+		p.sites = append(p.sites, sr)
+		p.scheduleBatchPreemption(sr)
+	}
+	return p
+}
+
+// SetTarget changes the desired pool size, submitting new worker requests or
+// releasing surplus nodes (the paper: "the number of nodes can grow and
+// shrink elastically by submitting and removing the worker node jobs").
+func (p *Pool) SetTarget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.target = n
+	for p.alive > p.target {
+		victim := p.anyAliveNode()
+		if victim == nil {
+			break
+		}
+		p.preempt(victim, &p.stats.Released, false)
+	}
+	p.maintain()
+}
+
+// Target returns the current desired pool size.
+func (p *Pool) Target() int { return p.target }
+
+// AliveCount returns the number of running workers.
+func (p *Pool) AliveCount() int { return p.alive }
+
+// InFlight returns the number of submitted-but-not-started worker requests.
+func (p *Pool) InFlight() int { return p.inflight }
+
+// Stats returns a copy of the pool's counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Node returns the node with the given ID, or nil.
+func (p *Pool) Node(id netmodel.NodeID) *Node { return p.nodes[id] }
+
+// AliveNodes returns all currently alive nodes in ID order.
+func (p *Pool) AliveNodes() []*Node {
+	var out []*Node
+	for id := netmodel.NodeID(0); int(id) < p.net.NumNodes(); id++ {
+		if n, ok := p.nodes[id]; ok && n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SiteNames returns configured site names in order.
+func (p *Pool) SiteNames() []string {
+	out := make([]string, len(p.sites))
+	for i, s := range p.sites {
+		out[i] = s.cfg.Name
+	}
+	return out
+}
+
+// AliveAtSite returns the number of alive nodes at site index i.
+func (p *Pool) AliveAtSite(i int) int { return p.sites[i].alive }
+
+func (p *Pool) maintain() {
+	for p.alive+p.inflight < p.target {
+		p.inflight++
+		p.stats.RequestsSubmitted++
+		delay := p.cfg.ProvisionDelay.Sample(p.eng.Rand())
+		p.eng.After(delay, p.provision)
+	}
+}
+
+// provision starts one worker at a weighted-random site with free capacity.
+func (p *Pool) provision() {
+	p.inflight--
+	if p.alive >= p.target {
+		return // target shrank while the request was queued
+	}
+	sr := p.chooseSite()
+	if sr == nil {
+		// All sites full: re-queue the request.
+		p.inflight++
+		p.eng.After(p.cfg.ProvisionDelay.Sample(p.eng.Rand()), p.provision)
+		return
+	}
+	sr.hostSeq++
+	host := fmt.Sprintf("wn%04d.%s", sr.hostSeq, sr.cfg.Domain)
+	id := p.net.AddNode(sr.netSite, host)
+	n := &Node{
+		ID:           id,
+		Hostname:     host,
+		Site:         p.siteIndex(sr),
+		SiteName:     sr.cfg.Name,
+		Alive:        true,
+		JoinedAt:     p.eng.Now(),
+		DiskCapacity: p.cfg.DiskBytesPerNode,
+		MapSlots:     p.cfg.MapSlots,
+		ReduceSlots:  p.cfg.ReduceSlots,
+	}
+	p.nodes[id] = n
+	p.alive++
+	sr.alive++
+	p.stats.Provisioned++
+	if sr.cfg.NodeLifetime != nil {
+		life := sr.cfg.NodeLifetime.Sample(p.eng.Rand())
+		n.lifetime = p.eng.After(life, func() { p.preempt(n, &p.stats.Preempted, true) })
+	}
+	if p.OnJoin != nil {
+		p.OnJoin(n)
+	}
+	p.maintain()
+}
+
+func (p *Pool) siteIndex(sr *siteRuntime) int {
+	for i, s := range p.sites {
+		if s == sr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *Pool) chooseSite() *siteRuntime {
+	var total float64
+	for _, s := range p.sites {
+		if s.alive < s.cfg.Capacity {
+			w := s.cfg.Weight
+			if w <= 0 {
+				w = float64(s.cfg.Capacity)
+			}
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	x := p.eng.Rand().Float64() * total
+	for _, s := range p.sites {
+		if s.alive < s.cfg.Capacity {
+			w := s.cfg.Weight
+			if w <= 0 {
+				w = float64(s.cfg.Capacity)
+			}
+			x -= w
+			if x <= 0 {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// preempt removes a node; counter receives the increment, and replace
+// controls whether the pool should request a replacement.
+func (p *Pool) preempt(n *Node, counter *int, replace bool) {
+	if !n.Alive {
+		return
+	}
+	*counter++
+	n.Alive = false
+	n.PreemptedAt = p.eng.Now()
+	if n.lifetime != nil {
+		n.lifetime.Cancel()
+	}
+	p.alive--
+	p.sites[n.Site].alive--
+	if p.OnPreempt != nil {
+		p.OnPreempt(n)
+	}
+	if replace {
+		p.maintain()
+	}
+}
+
+// Kill removes a node for an internal reason (e.g. disk overflow shutting
+// down the daemons, §IV.D.2) and requests a replacement.
+func (p *Pool) Kill(id netmodel.NodeID) {
+	if n, ok := p.nodes[id]; ok {
+		p.preempt(n, &p.stats.Killed, true)
+	}
+}
+
+// PreemptSite immediately preempts fraction frac of our nodes at site index
+// i (failure injection for site-outage experiments).
+func (p *Pool) PreemptSite(i int, frac float64) int {
+	return p.batchPreempt(p.sites[i], frac)
+}
+
+func (p *Pool) scheduleBatchPreemption(sr *siteRuntime) {
+	if sr.cfg.BatchPreemptEvery == nil || sr.cfg.BatchPreemptFrac <= 0 {
+		return
+	}
+	p.eng.After(sr.cfg.BatchPreemptEvery.Sample(p.eng.Rand()), func() {
+		if n := p.batchPreempt(sr, sr.cfg.BatchPreemptFrac); n > 0 {
+			p.stats.BatchEvents++
+		}
+		p.scheduleBatchPreemption(sr)
+	})
+}
+
+func (p *Pool) batchPreempt(sr *siteRuntime, frac float64) int {
+	var victims []*Node
+	for _, n := range p.nodes {
+		if n.Alive && n.Site == p.siteIndex(sr) {
+			victims = append(victims, n)
+		}
+	}
+	// Deterministic order before shuffling: map iteration is random.
+	sortNodesByID(victims)
+	r := p.eng.Rand()
+	r.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+	k := int(frac*float64(len(victims)) + 0.5)
+	if k > len(victims) {
+		k = len(victims)
+	}
+	for _, n := range victims[:k] {
+		p.preempt(n, &p.stats.BatchPreempted, true)
+	}
+	return k
+}
+
+func sortNodesByID(ns []*Node) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].ID < ns[j-1].ID; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func (p *Pool) anyAliveNode() *Node {
+	var best *Node
+	for _, n := range p.nodes {
+		if n.Alive && (best == nil || n.ID > best.ID) {
+			best = n // release the newest first
+		}
+	}
+	return best
+}

@@ -1,0 +1,251 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+	"hog/internal/topology"
+)
+
+func newTestPool(seed int64, sites []SiteConfig, cfg PoolConfig) (*sim.Engine, *netmodel.Network, *Pool) {
+	eng := sim.New(seed)
+	net := netmodel.New(eng, netmodel.Config{})
+	return eng, net, NewPool(eng, net, sites, cfg)
+}
+
+func quietSites(n int) []SiteConfig {
+	sites := OSGSites(ChurnNone)
+	return sites[:n]
+}
+
+func TestPoolReachesTarget(t *testing.T) {
+	eng, _, p := newTestPool(1, quietSites(5), DefaultPoolConfig())
+	joins := 0
+	p.OnJoin = func(*Node) { joins++ }
+	p.SetTarget(100)
+	eng.RunUntil(30 * sim.Minute)
+	if p.AliveCount() != 100 {
+		t.Fatalf("alive = %d, want 100", p.AliveCount())
+	}
+	if joins != 100 {
+		t.Fatalf("join callbacks = %d, want 100", joins)
+	}
+	if p.Stats().Provisioned != 100 {
+		t.Fatalf("provisioned = %d, want 100", p.Stats().Provisioned)
+	}
+}
+
+func TestPoolReplacesPreemptedNodes(t *testing.T) {
+	sites := OSGSites(ChurnUnstable)
+	eng, _, p := newTestPool(2, sites, DefaultPoolConfig())
+	preempts := 0
+	p.OnPreempt = func(n *Node) {
+		preempts++
+		if n.Alive {
+			t.Error("OnPreempt called with Alive node")
+		}
+	}
+	p.SetTarget(55)
+	eng.RunUntil(4 * sim.Hour)
+	if preempts == 0 {
+		t.Fatal("no preemptions under unstable churn in 4h")
+	}
+	if got := p.AliveCount(); got < 45 || got > 55 {
+		t.Fatalf("alive after churn = %d, want near 55", got)
+	}
+	st := p.Stats()
+	if st.Provisioned != p.AliveCount()+st.Preempted+st.BatchPreempted+st.Killed {
+		t.Fatalf("replacement accounting off: %+v alive=%d", st, p.AliveCount())
+	}
+}
+
+func TestTargetDecreaseReleasesNodes(t *testing.T) {
+	eng, _, p := newTestPool(3, quietSites(5), DefaultPoolConfig())
+	p.SetTarget(50)
+	eng.RunUntil(30 * sim.Minute)
+	p.SetTarget(20)
+	eng.RunUntil(35 * sim.Minute)
+	if p.AliveCount() != 20 {
+		t.Fatalf("alive = %d after shrink, want 20", p.AliveCount())
+	}
+	if p.Stats().Released != 30 {
+		t.Fatalf("released = %d, want 30", p.Stats().Released)
+	}
+	// Grow again: elastic.
+	p.SetTarget(40)
+	eng.RunUntil(60 * sim.Minute)
+	if p.AliveCount() != 40 {
+		t.Fatalf("alive = %d after regrow, want 40", p.AliveCount())
+	}
+}
+
+func TestInFlightNotOverProvisioned(t *testing.T) {
+	eng, _, p := newTestPool(4, quietSites(5), DefaultPoolConfig())
+	p.SetTarget(100)
+	// Shrink before any provisioning completes.
+	p.SetTarget(10)
+	eng.RunUntil(time30())
+	if p.AliveCount() != 10 {
+		t.Fatalf("alive = %d, want 10 (requests in flight must not overshoot)", p.AliveCount())
+	}
+}
+
+func time30() sim.Time { return 30 * sim.Minute }
+
+func TestSiteCapacityRespected(t *testing.T) {
+	sites := quietSites(2)
+	sites[0].Capacity = 5
+	sites[1].Capacity = 7
+	eng, _, p := newTestPool(5, sites, DefaultPoolConfig())
+	p.SetTarget(50) // far above total capacity 12
+	eng.RunUntil(20 * sim.Minute)
+	if got := p.AliveCount(); got != 12 {
+		t.Fatalf("alive = %d, want capacity-bound 12", got)
+	}
+	if p.AliveAtSite(0) != 5 || p.AliveAtSite(1) != 7 {
+		t.Fatalf("per-site alive = %d,%d, want 5,7", p.AliveAtSite(0), p.AliveAtSite(1))
+	}
+}
+
+func TestKillRequestsReplacement(t *testing.T) {
+	eng, _, p := newTestPool(6, quietSites(5), DefaultPoolConfig())
+	p.SetTarget(10)
+	eng.RunUntil(20 * sim.Minute)
+	victim := p.AliveNodes()[0]
+	p.Kill(victim.ID)
+	if victim.Alive {
+		t.Fatal("killed node still alive")
+	}
+	eng.RunUntil(40 * sim.Minute)
+	if p.AliveCount() != 10 {
+		t.Fatalf("alive = %d after kill+replace, want 10", p.AliveCount())
+	}
+	if p.Stats().Killed != 1 {
+		t.Fatalf("killed = %d, want 1", p.Stats().Killed)
+	}
+	if p.Node(victim.ID) == nil {
+		t.Fatal("dead node should remain queryable")
+	}
+}
+
+func TestPreemptSiteFraction(t *testing.T) {
+	eng, _, p := newTestPool(7, quietSites(5), DefaultPoolConfig())
+	p.SetTarget(100)
+	eng.RunUntil(30 * sim.Minute)
+	before := p.AliveAtSite(0)
+	if before == 0 {
+		t.Skip("no nodes at site 0 with this seed")
+	}
+	k := p.PreemptSite(0, 1.0)
+	if k != before {
+		t.Fatalf("PreemptSite(1.0) removed %d, want all %d", k, before)
+	}
+	if p.AliveAtSite(0) != 0 {
+		t.Fatalf("site 0 alive = %d after full preempt", p.AliveAtSite(0))
+	}
+}
+
+func TestHostnamesMapToSiteDomains(t *testing.T) {
+	eng, net, p := newTestPool(8, quietSites(5), DefaultPoolConfig())
+	p.SetTarget(60)
+	eng.RunUntil(30 * sim.Minute)
+	m := topology.NewMapper()
+	domains := map[string]bool{}
+	for _, sc := range quietSites(5) {
+		domains[topology.SiteFromHostname("x."+sc.Domain)] = true
+	}
+	for _, n := range p.AliveNodes() {
+		site := m.Site(n.Hostname)
+		if !domains[site] {
+			t.Fatalf("hostname %q mapped to unknown site %q", n.Hostname, site)
+		}
+		if net.Hostname(n.ID) != n.Hostname {
+			t.Fatal("netmodel hostname mismatch")
+		}
+	}
+	if len(m.Sites()) < 2 {
+		t.Fatalf("expected nodes spread over >=2 sites, got %v", m.Sites())
+	}
+}
+
+func TestNodeSlotsFromConfig(t *testing.T) {
+	cfg := DefaultPoolConfig()
+	cfg.MapSlots = 3
+	cfg.ReduceSlots = 2
+	eng, _, p := newTestPool(9, quietSites(5), cfg)
+	p.SetTarget(5)
+	eng.RunUntil(20 * sim.Minute)
+	for _, n := range p.AliveNodes() {
+		if n.MapSlots != 3 || n.ReduceSlots != 2 {
+			t.Fatalf("slots = %d/%d, want 3/2", n.MapSlots, n.ReduceSlots)
+		}
+	}
+}
+
+func TestChurnProfilesOrdering(t *testing.T) {
+	run := func(profile ChurnProfile) int {
+		eng, _, p := newTestPool(11, OSGSites(profile), DefaultPoolConfig())
+		p.SetTarget(55)
+		eng.RunUntil(3 * sim.Hour)
+		st := p.Stats()
+		return st.Preempted + st.BatchPreempted
+	}
+	none, stable, unstable := run(ChurnNone), run(ChurnStable), run(ChurnUnstable)
+	if none != 0 {
+		t.Fatalf("ChurnNone produced %d preemptions", none)
+	}
+	if !(unstable > stable) {
+		t.Fatalf("unstable (%d) should preempt more than stable (%d)", unstable, stable)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, int) {
+		eng, _, p := newTestPool(42, OSGSites(ChurnUnstable), DefaultPoolConfig())
+		p.SetTarget(55)
+		eng.RunUntil(2 * sim.Hour)
+		st := p.Stats()
+		return st.Provisioned, st.Preempted + st.BatchPreempted
+	}
+	p1, l1 := run()
+	p2, l2 := run()
+	if p1 != p2 || l1 != l2 {
+		t.Fatalf("pool not deterministic: (%d,%d) vs (%d,%d)", p1, l1, p2, l2)
+	}
+}
+
+// Property: for any target within capacity, the pool converges to exactly
+// that many alive nodes and never exceeds per-site capacity.
+func TestTargetConvergenceProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		target := int(raw)%120 + 1
+		eng, _, p := newTestPool(int64(raw)+1, quietSites(5), DefaultPoolConfig())
+		p.SetTarget(target)
+		eng.RunUntil(time30())
+		if p.AliveCount() != target {
+			return false
+		}
+		for i := range p.SiteNames() {
+			if p.AliveAtSite(i) > quietSites(5)[i].Capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSitesPanics(t *testing.T) {
+	eng := sim.New(1)
+	net := netmodel.New(eng, netmodel.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool with no sites did not panic")
+		}
+	}()
+	NewPool(eng, net, nil, PoolConfig{})
+}

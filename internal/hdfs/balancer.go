@@ -1,0 +1,124 @@
+package hdfs
+
+import (
+	"sort"
+
+	"hog/internal/netmodel"
+)
+
+// BalanceOnce runs one round of the HDFS balancer (the paper: users "can use
+// the HDFS balancer to balance the data distribution" after growing the
+// pool). It moves block replicas from nodes whose disk utilisation exceeds
+// the cluster mean by more than threshold to nodes below the mean by more
+// than threshold, preserving placement invariants (no duplicate replica on a
+// node). Moves are simulated transfers; the returned count is the number of
+// moves started. maxMoves bounds a round.
+func (nn *Namenode) BalanceOnce(threshold float64, maxMoves int) int {
+	type util struct {
+		d *DatanodeInfo
+		u float64
+	}
+	var all []util
+	var sum float64
+	for _, d := range nn.datanodes {
+		if !d.Alive {
+			continue
+		}
+		u := nn.disk.Utilization(d.ID)
+		all = append(all, util{d, u})
+		sum += u
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	mean := sum / float64(len(all))
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].u != all[j].u {
+			return all[i].u > all[j].u
+		}
+		return all[i].d.ID < all[j].d.ID
+	})
+	moves := 0
+	for _, over := range all {
+		if moves >= maxMoves || over.u <= mean+threshold {
+			continue
+		}
+		// Move blocks from the tail (most underutilised) upward.
+		for i := len(all) - 1; i >= 0 && moves < maxMoves; i-- {
+			under := all[i]
+			if under.u >= mean-threshold {
+				break
+			}
+			bid, ok := nn.pickMovableBlock(over.d, under.d)
+			if !ok {
+				continue
+			}
+			if nn.startMove(bid, over.d.ID, under.d.ID) {
+				moves++
+			}
+		}
+	}
+	return moves
+}
+
+// pickMovableBlock finds a block on src that dst does not host and fits on
+// dst.
+func (nn *Namenode) pickMovableBlock(src, dst *DatanodeInfo) (BlockID, bool) {
+	var ids []BlockID
+	for bid := range src.blocks {
+		ids = append(ids, bid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, bid := range ids {
+		b := nn.blocks[bid]
+		if b == nil {
+			continue
+		}
+		if _, dup := b.replicas[dst.ID]; dup {
+			continue
+		}
+		if _, pend := b.pending[dst.ID]; pend {
+			continue
+		}
+		if nn.disk.Free(dst.ID) >= b.Size {
+			return bid, true
+		}
+	}
+	return 0, false
+}
+
+// startMove copies a block src->dst and drops the src replica once the copy
+// is durable, mirroring the balancer's copy-then-delete protocol.
+func (nn *Namenode) startMove(bid BlockID, src, dst netmodel.NodeID) bool {
+	b := nn.blocks[bid]
+	if b == nil {
+		return false
+	}
+	if !nn.disk.Reserve(dst, b.Size) {
+		return false
+	}
+	b.pending[dst] = struct{}{}
+	nn.net.StartFlow(src, dst, b.Size, func() {
+		delete(b.pending, dst)
+		if nn.blocks[bid] == nil { // file deleted mid-move
+			nn.disk.Release(dst, b.Size)
+			return
+		}
+		if d, ok := nn.datanodes[dst]; !ok || !d.Alive {
+			nn.disk.Release(dst, b.Size)
+			return
+		}
+		nn.addReplica(b, dst)
+		nn.stats.BalancerMoves++
+		// Drop the source replica only if the block stays at or above its
+		// target without it.
+		if sd, ok := nn.datanodes[src]; ok {
+			if _, has := b.replicas[src]; has && len(b.replicas) > nn.targetReplication(b) {
+				delete(b.replicas, src)
+				delete(sd.blocks, bid)
+				nn.disk.Release(src, b.Size)
+			}
+		}
+	})
+	return true
+}

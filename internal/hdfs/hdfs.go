@@ -1,0 +1,332 @@
+// Package hdfs reimplements the slice of the Hadoop Distributed File System
+// that HOG modifies and depends on (paper §II.A, §III.B.1): a namenode block
+// map with heartbeat-driven failure detection, replica placement policies
+// (stock rack awareness generalised to HOG's site awareness), pipelined
+// replicated writes, a re-replication monitor that restores the target
+// replication factor after node loss, and a balancer.
+//
+// Time and data movement are simulated: block transfers are netmodel flows,
+// local reads/writes are disk I/O, and heartbeats are driven by the daemons
+// in internal/core. Protocol state machines (registration, dead-node
+// detection, under-replication queues) are implemented faithfully enough
+// that the paper's parameter changes — replication 3 → 10 and dead timeout
+// 15 min → 30 s — are plain configuration here too.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+
+	"hog/internal/disk"
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+	"hog/internal/topology"
+)
+
+// BlockID identifies an HDFS block.
+type BlockID int64
+
+// DefaultBlockSize is 64 MB (paper §II.A).
+const DefaultBlockSize = 64e6
+
+// Config holds namenode parameters.
+type Config struct {
+	// BlockSize in bytes; files are split into blocks of this size.
+	BlockSize float64
+	// Replication is the default replication factor for new files. HOG
+	// raises this from Hadoop's 3 to 10 (§III.B.1).
+	Replication int
+	// DeadTimeout is how long without a heartbeat before a datanode is
+	// declared dead. HOG: 30 s; stock Hadoop: 15 min (§III.B).
+	DeadTimeout sim.Time
+	// CheckInterval is how often the namenode scans for expired datanodes.
+	CheckInterval sim.Time
+	// MaxReplicationStreams bounds concurrent re-replication transfers so
+	// recovery does not saturate the network (namenode throttling).
+	MaxReplicationStreams int
+	// SiteAware selects the placement policy: HOG's site awareness (true)
+	// or flat random placement (false), the paper's implicit baseline for
+	// a grid deployment without topology knowledge.
+	SiteAware bool
+}
+
+// DefaultConfig returns stock-Hadoop-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:             DefaultBlockSize,
+		Replication:           3,
+		DeadTimeout:           900 * sim.Second,
+		CheckInterval:         5 * sim.Second,
+		MaxReplicationStreams: 16,
+		SiteAware:             true,
+	}
+}
+
+// HOGConfig returns the paper's HOG settings: replication 10, 30 s dead
+// timeout, site-aware placement.
+func HOGConfig() Config {
+	c := DefaultConfig()
+	c.Replication = 10
+	c.DeadTimeout = 30 * sim.Second
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BlockSize <= 0 {
+		c.BlockSize = d.BlockSize
+	}
+	if c.Replication <= 0 {
+		c.Replication = d.Replication
+	}
+	if c.DeadTimeout <= 0 {
+		c.DeadTimeout = d.DeadTimeout
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = d.CheckInterval
+	}
+	if c.MaxReplicationStreams <= 0 {
+		c.MaxReplicationStreams = d.MaxReplicationStreams
+	}
+	return c
+}
+
+// DatanodeInfo is the namenode's view of one datanode.
+type DatanodeInfo struct {
+	ID            netmodel.NodeID
+	Hostname      string
+	Site          string
+	Alive         bool
+	LastHeartbeat sim.Time
+	blocks        map[BlockID]struct{}
+}
+
+// Blocks returns the number of block replicas hosted on the datanode.
+func (d *DatanodeInfo) Blocks() int { return len(d.blocks) }
+
+// BlockInfo is the namenode's record of one block.
+type BlockInfo struct {
+	ID       BlockID
+	File     string
+	Size     float64
+	replicas map[netmodel.NodeID]struct{}
+	pending  map[netmodel.NodeID]struct{} // in-flight replication targets
+	lost     bool
+}
+
+// Replicas returns the IDs of live replicas in unspecified order.
+func (b *BlockInfo) Replicas() []netmodel.NodeID {
+	out := make([]netmodel.NodeID, 0, len(b.replicas))
+	for id := range b.replicas {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NumReplicas returns the live replica count.
+func (b *BlockInfo) NumReplicas() int { return len(b.replicas) }
+
+// Lost reports whether all replicas (and pending copies) were lost.
+func (b *BlockInfo) Lost() bool { return b.lost }
+
+// FileInfo records a file's blocks and its replication factor.
+type FileInfo struct {
+	Name        string
+	Size        float64
+	Replication int
+	Blocks      []BlockID
+}
+
+// Stats counts namenode events.
+type Stats struct {
+	BlocksCreated        int
+	BlocksLost           int
+	DatanodesDead        int
+	ReplicationsDone     int
+	BytesReplicated      float64
+	WriteReplicasSkipped int // pipeline targets that died or overflowed mid-write
+	BalancerMoves        int
+}
+
+// Namenode is the HDFS master. It lives on the stable central server in HOG
+// (paper §III.B) so it never fails in these simulations.
+type Namenode struct {
+	eng    *sim.Engine
+	net    *netmodel.Network
+	disk   *disk.Tracker
+	cfg    Config
+	mapper *topology.Mapper
+
+	datanodes map[netmodel.NodeID]*DatanodeInfo
+	blocks    map[BlockID]*BlockInfo
+	files     map[string]*FileInfo
+	nextBlock BlockID
+
+	replQueue   []BlockID
+	replQueued  map[BlockID]struct{}
+	replStreams int
+	streams     map[*replStream]struct{}
+
+	decommissioning map[netmodel.NodeID]func()
+
+	stats Stats
+
+	// OnDatanodeDead is invoked after a datanode is declared dead and its
+	// replicas are queued for recovery.
+	OnDatanodeDead func(id netmodel.NodeID)
+	// OnBlockLost is invoked when the last replica of a block disappears.
+	OnBlockLost func(b *BlockInfo)
+
+	checker *sim.Ticker
+}
+
+// NewNamenode creates a namenode; Start must be called to begin dead-node
+// scanning.
+func NewNamenode(eng *sim.Engine, net *netmodel.Network, dt *disk.Tracker, cfg Config) *Namenode {
+	return &Namenode{
+		eng:        eng,
+		net:        net,
+		disk:       dt,
+		cfg:        cfg.withDefaults(),
+		mapper:     topology.NewMapper(),
+		datanodes:  make(map[netmodel.NodeID]*DatanodeInfo),
+		blocks:     make(map[BlockID]*BlockInfo),
+		files:      make(map[string]*FileInfo),
+		replQueued: make(map[BlockID]struct{}),
+		streams:    make(map[*replStream]struct{}),
+	}
+}
+
+// Config returns the namenode's effective configuration.
+func (nn *Namenode) Config() Config { return nn.cfg }
+
+// Stats returns a copy of the counters.
+func (nn *Namenode) Stats() Stats { return nn.stats }
+
+// Start begins periodic dead-datanode detection.
+func (nn *Namenode) Start() {
+	if nn.checker != nil {
+		return
+	}
+	nn.checker = nn.eng.Every(nn.cfg.CheckInterval, nn.checkDead)
+}
+
+// Stop halts periodic scanning.
+func (nn *Namenode) Stop() {
+	if nn.checker != nil {
+		nn.checker.Stop()
+		nn.checker = nil
+	}
+}
+
+// Register adds a datanode. The namenode derives the node's site by running
+// the site-awareness mapping on its hostname, exactly once per new node
+// (paper: the topology script "is executed each time a new node is
+// discovered by the namenode").
+func (nn *Namenode) Register(id netmodel.NodeID, hostname string) *DatanodeInfo {
+	if _, ok := nn.datanodes[id]; ok {
+		panic(fmt.Sprintf("hdfs: datanode %d registered twice", id))
+	}
+	d := &DatanodeInfo{
+		ID:            id,
+		Hostname:      hostname,
+		Site:          nn.mapper.Site(hostname),
+		Alive:         true,
+		LastHeartbeat: nn.eng.Now(),
+		blocks:        make(map[BlockID]struct{}),
+	}
+	nn.datanodes[id] = d
+	return d
+}
+
+// Heartbeat records a datanode heartbeat.
+func (nn *Namenode) Heartbeat(id netmodel.NodeID) {
+	if d, ok := nn.datanodes[id]; ok && d.Alive {
+		d.LastHeartbeat = nn.eng.Now()
+	}
+}
+
+// Datanode returns the info for id, or nil.
+func (nn *Namenode) Datanode(id netmodel.NodeID) *DatanodeInfo { return nn.datanodes[id] }
+
+// AliveDatanodes returns live datanodes in ID order.
+func (nn *Namenode) AliveDatanodes() []*DatanodeInfo {
+	var out []*DatanodeInfo
+	for id := netmodel.NodeID(0); int(id) < nn.net.NumNodes(); id++ {
+		if d, ok := nn.datanodes[id]; ok && d.Alive {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// File returns the file record, or nil.
+func (nn *Namenode) File(name string) *FileInfo { return nn.files[name] }
+
+// Block returns the block record, or nil.
+func (nn *Namenode) Block(id BlockID) *BlockInfo { return nn.blocks[id] }
+
+// UnderReplicated returns the current length of the recovery queue.
+func (nn *Namenode) UnderReplicated() int { return len(nn.replQueued) }
+
+func (nn *Namenode) checkDead() {
+	now := nn.eng.Now()
+	for _, d := range nn.datanodes {
+		if d.Alive && now-d.LastHeartbeat > nn.cfg.DeadTimeout {
+			nn.markDead(d)
+		}
+	}
+}
+
+// markDead declares a datanode dead: its replicas are dropped and every
+// affected block is queued for re-replication (paper §II.A: "the Namenode
+// will automatically replicate those blocks of this lost node onto some
+// other datanodes").
+func (nn *Namenode) markDead(d *DatanodeInfo) {
+	if !d.Alive {
+		return
+	}
+	d.Alive = false
+	nn.stats.DatanodesDead++
+	nn.cancelStreamsTouching(d.ID)
+	// Sort for determinism: the recovery queue order must not depend on map
+	// iteration.
+	bids := make([]BlockID, 0, len(d.blocks))
+	for bid := range d.blocks {
+		bids = append(bids, bid)
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i] < bids[j] })
+	for _, bid := range bids {
+		b := nn.blocks[bid]
+		delete(b.replicas, d.ID)
+		if len(b.replicas) == 0 && len(b.pending) == 0 {
+			nn.loseBlock(b)
+			continue
+		}
+		nn.queueReplication(bid)
+	}
+	d.blocks = make(map[BlockID]struct{})
+	if nn.OnDatanodeDead != nil {
+		nn.OnDatanodeDead(d.ID)
+	}
+	nn.pumpReplication()
+}
+
+// ForceDead immediately declares a datanode dead, bypassing the heartbeat
+// timeout (used by tests and by voluntary decommission).
+func (nn *Namenode) ForceDead(id netmodel.NodeID) {
+	if d, ok := nn.datanodes[id]; ok {
+		nn.markDead(d)
+	}
+}
+
+func (nn *Namenode) loseBlock(b *BlockInfo) {
+	if b.lost {
+		return
+	}
+	b.lost = true
+	nn.stats.BlocksLost++
+	if nn.OnBlockLost != nil {
+		nn.OnBlockLost(b)
+	}
+}

@@ -1,0 +1,241 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+
+	"hog/internal/netmodel"
+)
+
+// CreateFile allocates the namespace entry and block list for a file of the
+// given size. repl <= 0 uses the configured default. Blocks have no replicas
+// until written (WriteFile) or seeded (SeedFile).
+func (nn *Namenode) CreateFile(name string, size float64, repl int) *FileInfo {
+	if _, ok := nn.files[name]; ok {
+		panic(fmt.Sprintf("hdfs: file %q already exists", name))
+	}
+	if repl <= 0 {
+		repl = nn.cfg.Replication
+	}
+	f := &FileInfo{Name: name, Size: size, Replication: repl}
+	for remaining := size; remaining > 0; remaining -= nn.cfg.BlockSize {
+		bs := nn.cfg.BlockSize
+		if remaining < bs {
+			bs = remaining
+		}
+		b := &BlockInfo{
+			ID:       nn.nextBlock,
+			File:     name,
+			Size:     bs,
+			replicas: make(map[netmodel.NodeID]struct{}),
+			pending:  make(map[netmodel.NodeID]struct{}),
+		}
+		nn.nextBlock++
+		nn.blocks[b.ID] = b
+		nn.stats.BlocksCreated++
+		f.Blocks = append(f.Blocks, b.ID)
+	}
+	nn.files[name] = f
+	return f
+}
+
+// SeedFile creates a file and instantly places its replicas, charging disk
+// space but consuming no simulated time. The paper stages input data before
+// starting the workload clock ("Then, we start to upload input data and
+// execute the evaluation workload"); SeedFile models the already-uploaded
+// state.
+func (nn *Namenode) SeedFile(name string, size float64, repl int) *FileInfo {
+	f := nn.CreateFile(name, size, repl)
+	for _, bid := range f.Blocks {
+		b := nn.blocks[bid]
+		targets := nn.chooseTargets(-1, b.Size, f.Replication, nil)
+		for _, tid := range targets {
+			if nn.disk.Reserve(tid, b.Size) {
+				nn.addReplica(b, tid)
+			}
+		}
+		if len(b.replicas) < f.Replication {
+			nn.queueReplication(bid)
+		}
+	}
+	nn.pumpReplication()
+	return f
+}
+
+// DeleteFile removes a file, releasing the disk space of all its replicas.
+func (nn *Namenode) DeleteFile(name string) {
+	f, ok := nn.files[name]
+	if !ok {
+		return
+	}
+	for _, bid := range f.Blocks {
+		b := nn.blocks[bid]
+		for id := range b.replicas {
+			if d, ok := nn.datanodes[id]; ok {
+				delete(d.blocks, bid)
+			}
+			nn.disk.Release(id, b.Size)
+		}
+		b.replicas = make(map[netmodel.NodeID]struct{})
+		delete(nn.replQueued, bid)
+		delete(nn.blocks, bid)
+	}
+	delete(nn.files, name)
+}
+
+func (nn *Namenode) addReplica(b *BlockInfo, id netmodel.NodeID) {
+	d, ok := nn.datanodes[id]
+	if !ok || !d.Alive {
+		return
+	}
+	b.replicas[id] = struct{}{}
+	b.lost = false
+	d.blocks[b.ID] = struct{}{}
+}
+
+// WriteFile writes a file of the given size from the node writer: each block
+// is replicated through a write pipeline (writer -> t1 -> t2 -> ...), blocks
+// written sequentially as HDFS clients do. done receives the number of block
+// replicas that could not be materialised (0 means a fully replicated file).
+// Under-replicated blocks are queued for background recovery.
+func (nn *Namenode) WriteFile(writer netmodel.NodeID, name string, size float64, repl int, done func(skipped int)) {
+	f := nn.CreateFile(name, size, repl)
+	skipped := 0
+	var writeBlock func(i int)
+	writeBlock = func(i int) {
+		if i >= len(f.Blocks) {
+			if done != nil {
+				done(skipped)
+			}
+			return
+		}
+		b := nn.blocks[f.Blocks[i]]
+		if b == nil {
+			// The file was deleted mid-write (e.g. a losing speculative
+			// attempt was torn down); abandon the rest quietly.
+			return
+		}
+		targets := nn.chooseTargets(writer, b.Size, f.Replication, nil)
+		skipped += f.Replication - len(targets)
+		if len(targets) == 0 {
+			nn.queueReplication(b.ID)
+			writeBlock(i + 1)
+			return
+		}
+		// Reserve space up front; a target that cannot hold the block is
+		// dropped from the pipeline.
+		var pipeline []netmodel.NodeID
+		for _, tid := range targets {
+			if nn.disk.Reserve(tid, b.Size) {
+				pipeline = append(pipeline, tid)
+			} else {
+				skipped++
+				nn.stats.WriteReplicasSkipped++
+			}
+		}
+		if len(pipeline) == 0 {
+			nn.queueReplication(b.ID)
+			writeBlock(i + 1)
+			return
+		}
+		// The pipeline streams: writer->t1 overlaps t1->t2, so the block is
+		// durable when the slowest hop finishes. Hops run as concurrent
+		// flows; completion is the last hop's completion.
+		remainingHops := 0
+		hopDone := func(tid netmodel.NodeID) func() {
+			return func() {
+				if _, exists := nn.blocks[b.ID]; !exists {
+					// File deleted mid-write; give the space back.
+					nn.disk.Release(tid, b.Size)
+					return
+				}
+				if d, ok := nn.datanodes[tid]; ok && d.Alive {
+					nn.addReplica(b, tid)
+				} else {
+					nn.disk.Release(tid, b.Size)
+					skipped++
+					nn.stats.WriteReplicasSkipped++
+				}
+				remainingHops--
+				if remainingHops == 0 {
+					if len(b.replicas) < f.Replication {
+						nn.queueReplication(b.ID)
+						nn.pumpReplication()
+					}
+					writeBlock(i + 1)
+				}
+			}
+		}
+		prev := writer
+		for _, tid := range pipeline {
+			remainingHops++
+			if prev == tid {
+				nn.net.StartDiskIO(tid, b.Size, hopDone(tid))
+			} else {
+				nn.net.StartFlow(prev, tid, b.Size, hopDone(tid))
+			}
+			prev = tid
+		}
+	}
+	writeBlock(0)
+}
+
+// ReadSource picks the best replica of a block for a reader: the reader's
+// own disk, then a replica in the reader's site, then any replica (the map
+// scheduler's locality levels reuse this order). ok is false when the block
+// has no live replicas.
+func (nn *Namenode) ReadSource(reader netmodel.NodeID, bid BlockID) (src netmodel.NodeID, local bool, ok bool) {
+	b := nn.blocks[bid]
+	if b == nil || len(b.replicas) == 0 {
+		return 0, false, false
+	}
+	if _, here := b.replicas[reader]; here {
+		return reader, true, true
+	}
+	readerSite := ""
+	if d, okd := nn.datanodes[reader]; okd {
+		readerSite = d.Site
+	}
+	var sameSite, any []netmodel.NodeID
+	for id := range b.replicas {
+		d := nn.datanodes[id]
+		if d == nil || !d.Alive {
+			continue
+		}
+		any = append(any, id)
+		if readerSite != "" && d.Site == readerSite {
+			sameSite = append(sameSite, id)
+		}
+	}
+	// Sort before the random pick: the candidates came from map iteration,
+	// and determinism requires a stable order under the seeded RNG.
+	pick := func(ids []netmodel.NodeID) netmodel.NodeID {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids[nn.eng.Rand().Intn(len(ids))]
+	}
+	if len(sameSite) > 0 {
+		return pick(sameSite), false, true
+	}
+	if len(any) > 0 {
+		return pick(any), false, true
+	}
+	return 0, false, false
+}
+
+// ReadBlock transfers a block to the reader, calling done(true) on success
+// or done(false) when no replica is available. Local reads are disk I/O.
+func (nn *Namenode) ReadBlock(reader netmodel.NodeID, bid BlockID, done func(ok bool)) {
+	src, local, ok := nn.ReadSource(reader, bid)
+	if !ok {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	b := nn.blocks[bid]
+	if local {
+		nn.net.StartDiskIO(reader, b.Size, func() { done(true) })
+		return
+	}
+	nn.net.StartFlow(src, reader, b.Size, func() { done(true) })
+}

@@ -1,0 +1,170 @@
+package hdfs
+
+import (
+	"sort"
+
+	"hog/internal/netmodel"
+)
+
+// chooseTargets picks n distinct live datanodes with room for a block of the
+// given size, excluding the nodes in exclude. writer, if a live datanode, is
+// preferred for the first replica (Hadoop places replica one on the writing
+// node). With SiteAware placement, the second replica goes to a different
+// site than the first and subsequent replicas are spread so that replicas
+// cover as many sites as possible — the paper's generalisation of Hadoop's
+// source-rack + one-other-rack rule to the site failure domain. Without site
+// awareness, targets are uniformly random.
+//
+// Fewer than n targets are returned when the cluster cannot satisfy the
+// request; callers queue the block for later re-replication.
+func (nn *Namenode) chooseTargets(writer netmodel.NodeID, size float64, n int, exclude map[netmodel.NodeID]struct{}) []netmodel.NodeID {
+	type cand struct {
+		d    *DatanodeInfo
+		free float64
+	}
+	var cands []cand
+	for _, d := range nn.datanodes {
+		if !d.Alive {
+			continue
+		}
+		if _, ex := exclude[d.ID]; ex {
+			continue
+		}
+		if _, draining := nn.decommissioning[d.ID]; draining {
+			continue
+		}
+		if free := nn.disk.Free(d.ID); free >= size {
+			cands = append(cands, cand{d, free})
+		}
+	}
+	if len(cands) == 0 || n <= 0 {
+		return nil
+	}
+	// Deterministic base order, then shuffle with the engine's RNG so ties
+	// break randomly but reproducibly.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d.ID < cands[j].d.ID })
+	r := nn.eng.Rand()
+	r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	var targets []netmodel.NodeID
+	take := func(i int) {
+		targets = append(targets, cands[i].d.ID)
+		cands = append(cands[:i], cands[i+1:]...)
+	}
+
+	// Replica 1: the writer itself when possible (data locality for the
+	// producing task).
+	if w, ok := nn.datanodes[writer]; ok && w.Alive {
+		if _, ex := exclude[writer]; !ex && nn.disk.Free(writer) >= size {
+			for i := range cands {
+				if cands[i].d.ID == writer {
+					take(i)
+					break
+				}
+			}
+		}
+	}
+
+	if !nn.cfg.SiteAware {
+		for len(targets) < n && len(cands) > 0 {
+			take(0)
+		}
+		return targets
+	}
+
+	// Site-aware spreading: greedily prefer sites hosting the fewest
+	// replicas chosen so far, so ten replicas of a block land on all five
+	// sites before doubling up anywhere.
+	siteCount := make(map[string]int)
+	for _, id := range targets {
+		siteCount[nn.datanodes[id].Site]++
+	}
+	for len(targets) < n && len(cands) > 0 {
+		best := -1
+		bestCount := int(^uint(0) >> 1)
+		for i := range cands {
+			c := siteCount[cands[i].d.Site]
+			if c < bestCount {
+				bestCount = c
+				best = i
+			}
+		}
+		siteCount[cands[best].d.Site]++
+		take(best)
+	}
+	return targets
+}
+
+// chooseReplicationTargets picks targets for re-replicating block b,
+// counting its existing replicas toward the site spread.
+func (nn *Namenode) chooseReplicationTargets(b *BlockInfo, n int) []netmodel.NodeID {
+	exclude := make(map[netmodel.NodeID]struct{}, len(b.replicas)+len(b.pending))
+	siteCount := make(map[string]int)
+	for id := range b.replicas {
+		exclude[id] = struct{}{}
+		if d, ok := nn.datanodes[id]; ok {
+			siteCount[d.Site]++
+		}
+	}
+	for id := range b.pending {
+		exclude[id] = struct{}{}
+		if d, ok := nn.datanodes[id]; ok {
+			siteCount[d.Site]++
+		}
+	}
+	if !nn.cfg.SiteAware {
+		return nn.chooseTargets(-1, b.Size, n, exclude)
+	}
+	// Candidate pool as in chooseTargets, but seeded with the existing
+	// replicas' site counts.
+	type cand struct{ d *DatanodeInfo }
+	var cands []cand
+	for _, d := range nn.datanodes {
+		if !d.Alive {
+			continue
+		}
+		if _, ex := exclude[d.ID]; ex {
+			continue
+		}
+		if _, draining := nn.decommissioning[d.ID]; draining {
+			continue
+		}
+		if nn.disk.Free(d.ID) >= b.Size {
+			cands = append(cands, cand{d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d.ID < cands[j].d.ID })
+	r := nn.eng.Rand()
+	r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	var targets []netmodel.NodeID
+	for len(targets) < n && len(cands) > 0 {
+		best := -1
+		bestCount := int(^uint(0) >> 1)
+		for i := range cands {
+			c := siteCount[cands[i].d.Site]
+			if c < bestCount {
+				bestCount = c
+				best = i
+			}
+		}
+		siteCount[cands[best].d.Site]++
+		targets = append(targets, cands[best].d.ID)
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return targets
+}
+
+// SitesOf returns the distinct awareness sites currently hosting replicas of
+// the block, for invariant checks and experiments.
+func (nn *Namenode) SitesOf(b *BlockInfo) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for id := range b.replicas {
+		if d, ok := nn.datanodes[id]; ok && !seen[d.Site] {
+			seen[d.Site] = true
+			out = append(out, d.Site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

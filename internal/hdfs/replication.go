@@ -1,0 +1,170 @@
+package hdfs
+
+import (
+	"sort"
+
+	"hog/internal/netmodel"
+)
+
+// replStream is one in-flight re-replication transfer.
+type replStream struct {
+	bid  BlockID
+	src  netmodel.NodeID
+	dst  netmodel.NodeID
+	flow *netmodel.Flow
+}
+
+// queueReplication marks a block under-replicated. Duplicate enqueues are
+// coalesced.
+func (nn *Namenode) queueReplication(bid BlockID) {
+	if _, ok := nn.replQueued[bid]; ok {
+		return
+	}
+	if b := nn.blocks[bid]; b == nil {
+		return
+	}
+	nn.replQueued[bid] = struct{}{}
+	nn.replQueue = append(nn.replQueue, bid)
+}
+
+// pumpReplication starts recovery transfers up to the stream limit. Each
+// transfer copies the block from a live replica to a placement-chosen
+// target; on completion the replica count is re-checked and the block is
+// re-queued if still short (e.g. the source died mid-copy, or the factor is
+// 10 and one stream only adds one copy at a time).
+func (nn *Namenode) pumpReplication() {
+	for nn.replStreams < nn.cfg.MaxReplicationStreams && len(nn.replQueue) > 0 {
+		bid := nn.replQueue[0]
+		nn.replQueue = nn.replQueue[1:]
+		delete(nn.replQueued, bid)
+		b := nn.blocks[bid]
+		if b == nil {
+			continue
+		}
+		want := nn.targetReplication(b)
+		have := nn.effectiveReplicas(b) + len(b.pending)
+		if have >= want {
+			continue
+		}
+		src, ok := nn.anyReplica(b)
+		if !ok {
+			if len(b.pending) == 0 {
+				nn.loseBlock(b)
+			}
+			continue
+		}
+		targets := nn.chooseReplicationTargets(b, 1)
+		if len(targets) == 0 {
+			// No capacity anywhere right now; retry after a beat so new
+			// nodes joining the pool can pick it up.
+			nn.eng.After(nn.cfg.CheckInterval, func() {
+				nn.queueReplication(bid)
+				nn.pumpReplication()
+			})
+			continue
+		}
+		dst := targets[0]
+		if !nn.disk.Reserve(dst, b.Size) {
+			nn.queueReplication(bid)
+			continue
+		}
+		b.pending[dst] = struct{}{}
+		nn.replStreams++
+		st := &replStream{bid: bid, src: src, dst: dst}
+		nn.streams[st] = struct{}{}
+		st.flow = nn.net.StartFlow(src, dst, b.Size, func() {
+			delete(nn.streams, st)
+			nn.replStreams--
+			delete(b.pending, dst)
+			if d, ok := nn.datanodes[dst]; ok && d.Alive && nn.blocks[bid] != nil {
+				nn.addReplica(b, dst)
+				nn.stats.ReplicationsDone++
+				nn.stats.BytesReplicated += b.Size
+			} else {
+				nn.disk.Release(dst, b.Size)
+			}
+			if nn.blocks[bid] != nil && nn.effectiveReplicas(b)+len(b.pending) < nn.targetReplication(b) {
+				nn.queueReplication(bid)
+			}
+			nn.checkAllDecommissions()
+			nn.pumpReplication()
+		})
+	}
+}
+
+// effectiveReplicas counts replicas on nodes that are staying: replicas on
+// decommissioning nodes do not satisfy the target.
+func (nn *Namenode) effectiveReplicas(b *BlockInfo) int {
+	n := 0
+	for id := range b.replicas {
+		if _, draining := nn.decommissioning[id]; !draining {
+			n++
+		}
+	}
+	return n
+}
+
+func (nn *Namenode) checkAllDecommissions() {
+	if len(nn.decommissioning) == 0 {
+		return
+	}
+	ids := make([]netmodel.NodeID, 0, len(nn.decommissioning))
+	for id := range nn.decommissioning {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		nn.checkDecommission(id)
+	}
+}
+
+// cancelStreamsTouching aborts in-flight replication streams whose source or
+// destination died: a copy cannot proceed from a dead source, and a copy to
+// a dead target is wasted. Affected blocks are re-queued (or declared lost).
+func (nn *Namenode) cancelStreamsTouching(id netmodel.NodeID) {
+	var doomed []*replStream
+	for st := range nn.streams {
+		if st.src == id || st.dst == id {
+			doomed = append(doomed, st)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].bid < doomed[j].bid })
+	for _, st := range doomed {
+		st.flow.Cancel()
+		delete(nn.streams, st)
+		nn.replStreams--
+		b := nn.blocks[st.bid]
+		if b == nil {
+			nn.disk.Release(st.dst, 0)
+			continue
+		}
+		delete(b.pending, st.dst)
+		nn.disk.Release(st.dst, b.Size)
+		if len(b.replicas) == 0 && len(b.pending) == 0 {
+			nn.loseBlock(b)
+		} else if len(b.replicas)+len(b.pending) < nn.targetReplication(b) {
+			nn.queueReplication(st.bid)
+		}
+	}
+}
+
+func (nn *Namenode) targetReplication(b *BlockInfo) int {
+	if f, ok := nn.files[b.File]; ok {
+		return f.Replication
+	}
+	return nn.cfg.Replication
+}
+
+func (nn *Namenode) anyReplica(b *BlockInfo) (src netmodel.NodeID, ok bool) {
+	ids := make([]netmodel.NodeID, 0, len(b.replicas))
+	for id := range b.replicas {
+		if d, okd := nn.datanodes[id]; okd && d.Alive {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return 0, false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[nn.eng.Rand().Intn(len(ids))], true
+}

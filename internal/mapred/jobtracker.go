@@ -1,0 +1,595 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+
+	"hog/internal/disk"
+	"hog/internal/hdfs"
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+)
+
+// TaskTracker is the JobTracker's view of a worker's task daemon.
+type TaskTracker struct {
+	Node          netmodel.NodeID
+	Hostname      string
+	Site          string
+	MapSlots      int
+	ReduceSlots   int
+	Alive         bool
+	LastHeartbeat sim.Time
+	// Speed scales compute rates on this worker (1.0 = nominal). Table
+	// III's cluster mixes dual-core Opteron-275 and older single-core
+	// Opteron-64 nodes; the latter run slot-for-slot slower.
+	Speed float64
+
+	runningMaps    int
+	runningReduces int
+	attempts       map[*attempt]struct{}
+}
+
+// FreeMapSlots returns currently unoccupied map slots.
+func (t *TaskTracker) FreeMapSlots() int { return t.MapSlots - t.runningMaps }
+
+// FreeReduceSlots returns currently unoccupied reduce slots.
+func (t *TaskTracker) FreeReduceSlots() int { return t.ReduceSlots - t.runningReduces }
+
+// JobTracker is the MapReduce master. Like the namenode it lives on HOG's
+// stable central server and never fails in these simulations.
+type JobTracker struct {
+	eng  *sim.Engine
+	net  *netmodel.Network
+	nn   *hdfs.Namenode
+	disk *disk.Tracker
+	cfg  Config
+
+	trackers   map[netmodel.NodeID]*TaskTracker
+	jobs       []*Job
+	nextID     JobID
+	active     int // running or pending jobs
+	attemptSeq int64
+
+	// DiskUsable reports whether a node's scratch directory is readable and
+	// writable. Zombie datanodes (§IV.D.1) heartbeat while their working
+	// directory is gone; assignments to them fail fast. nil means always
+	// usable.
+	DiskUsable func(n netmodel.NodeID) bool
+	// DataServable reports whether a node can serve stored bytes (map
+	// output, HDFS replicas) — false once the physical node is gone even if
+	// the JobTracker has not yet noticed. nil means alive trackers serve.
+	DataServable func(n netmodel.NodeID) bool
+	// OnDiskOverflow fires when a task fails to reserve scratch space; HOG
+	// wires this to killing the worker ("worker nodes out of disk error").
+	OnDiskOverflow func(n netmodel.NodeID)
+	// OnJobComplete fires when a job succeeds or fails.
+	OnJobComplete func(*Job)
+
+	checker *sim.Ticker
+}
+
+// NewJobTracker creates a JobTracker; Start begins dead-tracker scanning.
+func NewJobTracker(eng *sim.Engine, net *netmodel.Network, nn *hdfs.Namenode, dt *disk.Tracker, cfg Config) *JobTracker {
+	return &JobTracker{
+		eng:      eng,
+		net:      net,
+		nn:       nn,
+		disk:     dt,
+		cfg:      cfg.withDefaults(),
+		trackers: make(map[netmodel.NodeID]*TaskTracker),
+	}
+}
+
+// Config returns the effective configuration.
+func (jt *JobTracker) Config() Config { return jt.cfg }
+
+// Start begins periodic dead-tracker detection.
+func (jt *JobTracker) Start() {
+	if jt.checker == nil {
+		jt.checker = jt.eng.Every(jt.cfg.CheckInterval, jt.checkDead)
+	}
+}
+
+// Stop halts periodic scanning.
+func (jt *JobTracker) Stop() {
+	if jt.checker != nil {
+		jt.checker.Stop()
+		jt.checker = nil
+	}
+}
+
+// RegisterTracker adds a worker's task daemon with the given slot counts.
+func (jt *JobTracker) RegisterTracker(node netmodel.NodeID, hostname, site string, mapSlots, reduceSlots int) *TaskTracker {
+	if _, ok := jt.trackers[node]; ok {
+		panic(fmt.Sprintf("mapred: tracker %d registered twice", node))
+	}
+	t := &TaskTracker{
+		Node:          node,
+		Hostname:      hostname,
+		Site:          site,
+		MapSlots:      mapSlots,
+		ReduceSlots:   reduceSlots,
+		Alive:         true,
+		LastHeartbeat: jt.eng.Now(),
+		Speed:         1.0,
+		attempts:      make(map[*attempt]struct{}),
+	}
+	jt.trackers[node] = t
+	return t
+}
+
+// Tracker returns the tracker for node, or nil.
+func (jt *JobTracker) Tracker(node netmodel.NodeID) *TaskTracker { return jt.trackers[node] }
+
+// AliveTrackers returns live trackers in node order.
+func (jt *JobTracker) AliveTrackers() []*TaskTracker {
+	var out []*TaskTracker
+	for id := netmodel.NodeID(0); int(id) < jt.net.NumNodes(); id++ {
+		if t, ok := jt.trackers[id]; ok && t.Alive {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Heartbeat records a tracker heartbeat and, as in Hadoop, triggers task
+// assignment for its free slots.
+func (jt *JobTracker) Heartbeat(node netmodel.NodeID) {
+	t, ok := jt.trackers[node]
+	if !ok || !t.Alive {
+		return
+	}
+	t.LastHeartbeat = jt.eng.Now()
+	jt.assign(t)
+}
+
+// Submit enqueues a job built from its input file's blocks (one map task per
+// block, §II.A) and returns it. Scheduling is FIFO in submission order.
+func (jt *JobTracker) Submit(cfg JobConfig) *Job {
+	cfg = cfg.withDefaults()
+	fi := jt.nn.File(cfg.InputFile)
+	if fi == nil {
+		panic(fmt.Sprintf("mapred: input file %q does not exist", cfg.InputFile))
+	}
+	j := &Job{
+		ID:         jt.nextID,
+		Config:     cfg,
+		State:      JobPending,
+		SubmitTime: jt.eng.Now(),
+		skipSince:  -1,
+	}
+	jt.nextID++
+	for i, bid := range fi.Blocks {
+		b := jt.nn.Block(bid)
+		j.maps = append(j.maps, &mapTask{job: j, idx: i, block: bid, inputBytes: b.Size})
+	}
+	for i := 0; i < cfg.Reduces; i++ {
+		j.reduces = append(j.reduces, &reduceTask{job: j, idx: i})
+	}
+	jt.jobs = append(jt.jobs, j)
+	jt.active++
+	// Kick the schedulers: idle trackers assign on their next heartbeat,
+	// which is at most one interval away, so nothing else is needed here.
+	return j
+}
+
+// Jobs returns all submitted jobs in submission order.
+func (jt *JobTracker) Jobs() []*Job { return jt.jobs }
+
+// ActiveJobs returns the number of unfinished jobs.
+func (jt *JobTracker) ActiveJobs() int { return jt.active }
+
+func (jt *JobTracker) checkDead() {
+	now := jt.eng.Now()
+	var doomed []*TaskTracker
+	for _, t := range jt.trackers {
+		if t.Alive && now-t.LastHeartbeat > jt.cfg.TrackerTimeout {
+			doomed = append(doomed, t)
+		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].Node < doomed[j].Node })
+	for _, t := range doomed {
+		jt.markDead(t)
+	}
+}
+
+// NodeCrashed records that a worker's processes died silently (clean
+// preemption kills the whole process tree, §IV.D.1). Live attempts stop
+// making progress immediately, but the JobTracker keeps believing they run —
+// as ghosts — until the tracker's heartbeat timeout expires or a speculative
+// copy finishes first. This is precisely the latency the paper's 30-second
+// timeout attacks.
+func (jt *JobTracker) NodeCrashed(node netmodel.NodeID) {
+	t, ok := jt.trackers[node]
+	if !ok {
+		return
+	}
+	var atts []*attempt
+	for a := range t.attempts {
+		atts = append(atts, a)
+	}
+	sort.Slice(atts, func(i, j int) bool { return atts[i].seq < atts[j].seq })
+	for _, a := range atts {
+		if a.mt != nil {
+			a.mt.ghosts = append(a.mt.ghosts, ghost{node: node, started: a.started})
+		} else {
+			a.rt.ghosts = append(a.rt.ghosts, ghost{node: node, started: a.started})
+		}
+		a.cancel("node crashed")
+	}
+}
+
+// NodeLostWorkdir records that the site deleted the job's working directory
+// while the tasktracker survived (the zombie scenario): running tasks die
+// and report failure immediately, so the JobTracker learns right away.
+func (jt *JobTracker) NodeLostWorkdir(node netmodel.NodeID) {
+	t, ok := jt.trackers[node]
+	if !ok {
+		return
+	}
+	var atts []*attempt
+	for a := range t.attempts {
+		atts = append(atts, a)
+	}
+	sort.Slice(atts, func(i, j int) bool { return atts[i].seq < atts[j].seq })
+	for _, a := range atts {
+		a.fail("working directory removed", true)
+	}
+}
+
+// markDead declares a tracker lost: running attempts (and ghost beliefs)
+// fail and re-queue, and completed map output that lived on the node is
+// re-executed for any job that still needs it (Hadoop re-runs maps whose
+// output became unreachable).
+func (jt *JobTracker) markDead(t *TaskTracker) {
+	if !t.Alive {
+		return
+	}
+	t.Alive = false
+	// Fail running attempts.
+	var atts []*attempt
+	for a := range t.attempts {
+		atts = append(atts, a)
+	}
+	sort.Slice(atts, func(i, j int) bool { return atts[i].seq < atts[j].seq })
+	for _, a := range atts {
+		a.fail("tracker lost", false)
+	}
+	// Clear ghost beliefs: the timeout has expired, so these tasks return
+	// to pending and reschedule.
+	for _, j := range jt.jobs {
+		if j.State != JobRunning && j.State != JobPending {
+			continue
+		}
+		for _, m := range j.maps {
+			m.ghosts = dropGhosts(m.ghosts, t.Node)
+		}
+		for _, r := range j.reduces {
+			r.ghosts = dropGhosts(r.ghosts, t.Node)
+		}
+	}
+	// Re-execute completed maps whose output is gone — but only those some
+	// reduce still needs; output every reducer has already pulled is not
+	// worth recomputing.
+	for _, j := range jt.jobs {
+		if j.State != JobRunning && j.State != JobPending {
+			continue
+		}
+		for _, m := range j.maps {
+			if m.done && m.outputNode == t.Node && jt.outputStillNeeded(j, m) {
+				jt.reExecuteMap(j, m)
+			}
+		}
+	}
+}
+
+// outputStillNeeded reports whether any unfinished reduce has yet to fetch
+// the map's partition.
+func (jt *JobTracker) outputStillNeeded(j *Job, m *mapTask) bool {
+	if len(j.reduces) == 0 {
+		return false
+	}
+	for _, r := range j.reduces {
+		if r.done {
+			continue
+		}
+		fetched := false
+		for _, ra := range r.attempts {
+			if ra.live() && ra.fetchDone[m.idx] {
+				fetched = true
+				break
+			}
+		}
+		if !fetched {
+			return true
+		}
+	}
+	return false
+}
+
+// ForceTrackerDead marks a tracker dead immediately (failure injection).
+func (jt *JobTracker) ForceTrackerDead(node netmodel.NodeID) {
+	if t, ok := jt.trackers[node]; ok {
+		jt.markDead(t)
+	}
+}
+
+func (jt *JobTracker) reExecuteMap(j *Job, m *mapTask) {
+	if !m.done {
+		return
+	}
+	m.done = false
+	m.outputNode = -1
+	j.completedMaps--
+	j.counters.MapsReExecuted++
+	// Reduces waiting on this map simply keep waiting; they re-fetch when
+	// the re-execution completes.
+}
+
+// assign hands tasks to a tracker's free slots under FIFO with locality
+// preference and speculative execution, mirroring Hadoop 0.20's
+// JobInProgress.obtainNewMapTask/obtainNewReduceTask logic.
+func (jt *JobTracker) assign(t *TaskTracker) {
+	if jt.diskBroken(t.Node) {
+		// A zombie's assignments would fail immediately; Hadoop still
+		// assigns (it cannot know), so we do too — the attempt fails fast
+		// and wastes the slot, reproducing §IV.D.1.
+	}
+	for t.FreeMapSlots() > 0 {
+		if !jt.assignOneMap(t) {
+			break
+		}
+	}
+	for t.FreeReduceSlots() > 0 {
+		if !jt.assignOneReduce(t) {
+			break
+		}
+	}
+}
+
+func (jt *JobTracker) assignOneMap(t *TaskTracker) bool {
+	for _, j := range jt.jobs {
+		if j.State == JobFailed || j.State == JobSucceeded || j.blacklisted(t.Node) {
+			continue
+		}
+		// Locality pass 1: node-local pending map.
+		var nodeLocal, siteLocal, anyPending *mapTask
+		for _, m := range j.maps {
+			if m.done || m.running() > 0 || m.failures >= jt.cfg.MaxTaskAttempts || m.failedOn[t.Node] {
+				continue
+			}
+			lvl := jt.localityOf(t, m)
+			switch lvl {
+			case NodeLocal:
+				nodeLocal = m
+			case SiteLocal:
+				if siteLocal == nil {
+					siteLocal = m
+				}
+			default:
+				if anyPending == nil {
+					anyPending = m
+				}
+			}
+			if nodeLocal != nil {
+				break
+			}
+		}
+		pick := nodeLocal
+		lvl := NodeLocal
+		if pick == nil {
+			pick, lvl = siteLocal, SiteLocal
+		}
+		if pick == nil {
+			pick, lvl = anyPending, Remote
+		}
+		if pick != nil && lvl != NodeLocal && jt.cfg.LocalityWait > 0 {
+			// Delay scheduling: skip this job's non-local work for a while
+			// in the hope a data-local slot frees up.
+			if j.skipSince < 0 {
+				j.skipSince = jt.eng.Now()
+				continue
+			}
+			if jt.eng.Now()-j.skipSince < jt.cfg.LocalityWait {
+				continue
+			}
+			// Waited long enough; accept the non-local slot and reset.
+		}
+		if pick != nil {
+			if lvl == NodeLocal {
+				j.skipSince = -1
+			} else if jt.cfg.LocalityWait > 0 {
+				j.skipSince = -1
+			}
+			jt.launchMap(j, pick, t, lvl, false)
+			return true
+		}
+		// No pending maps in this job: consider speculation before moving
+		// to the next job (Hadoop speculates within the running job first).
+		if m := jt.speculativeMap(j, t); m != nil {
+			jt.launchMap(j, m, t, jt.localityOf(t, m), true)
+			return true
+		}
+	}
+	return false
+}
+
+func (jt *JobTracker) localityOf(t *TaskTracker, m *mapTask) LocalityLevel {
+	b := jt.nn.Block(m.block)
+	if b == nil {
+		return Remote
+	}
+	site := t.Site
+	lvl := Remote
+	for _, r := range b.Replicas() {
+		if r == t.Node {
+			return NodeLocal
+		}
+		if d := jt.nn.Datanode(r); d != nil && d.Alive && d.Site == site {
+			lvl = SiteLocal
+		}
+	}
+	return lvl
+}
+
+func (jt *JobTracker) speculativeMap(j *Job, t *TaskTracker) *mapTask {
+	if !jt.cfg.Speculative {
+		return nil
+	}
+	for _, m := range j.maps {
+		if m.done || m.failures >= jt.cfg.MaxTaskAttempts || m.failedOn[t.Node] {
+			continue
+		}
+		r := m.running()
+		if r == 0 || r >= jt.cfg.MaxTaskCopies {
+			continue
+		}
+		if m.runningOn(t.Node) {
+			continue // never two copies on one node
+		}
+		if jt.cfg.EagerRedundancy {
+			return m
+		}
+		if jt.isStraggler(j, jobKindMap, m.oldestRunningStart()) {
+			return m
+		}
+	}
+	return nil
+}
+
+func (jt *JobTracker) assignOneReduce(t *TaskTracker) bool {
+	for _, j := range jt.jobs {
+		if j.State == JobFailed || j.State == JobSucceeded || j.blacklisted(t.Node) {
+			continue
+		}
+		if len(j.maps) > 0 {
+			need := int(jt.cfg.SlowstartFraction * float64(len(j.maps)))
+			if need < 1 {
+				need = 1
+			}
+			if j.completedMaps < need {
+				continue
+			}
+		}
+		for _, r := range j.reduces {
+			if r.done || r.running() > 0 || r.failures >= jt.cfg.MaxTaskAttempts || r.failedOn[t.Node] {
+				continue
+			}
+			jt.launchReduce(j, r, t, false)
+			return true
+		}
+		if r := jt.speculativeReduce(j, t); r != nil {
+			jt.launchReduce(j, r, t, true)
+			return true
+		}
+	}
+	return false
+}
+
+func (jt *JobTracker) speculativeReduce(j *Job, t *TaskTracker) *reduceTask {
+	if !jt.cfg.Speculative {
+		return nil
+	}
+	for _, r := range j.reduces {
+		if r.done || r.failures >= jt.cfg.MaxTaskAttempts || r.failedOn[t.Node] {
+			continue
+		}
+		n := r.running()
+		if n == 0 || n >= jt.cfg.MaxTaskCopies {
+			continue
+		}
+		if r.runningOn(t.Node) {
+			continue
+		}
+		if jt.cfg.EagerRedundancy {
+			return r
+		}
+		if jt.isStraggler(j, jobKindReduce, r.oldestRunningStart()) {
+			return r
+		}
+	}
+	return nil
+}
+
+type jobKind int
+
+const (
+	jobKindMap jobKind = iota
+	jobKindReduce
+)
+
+// isStraggler applies the paper's criterion: elapsed > slowdown * average
+// completed duration for the kind, with a minimum runtime guard.
+func (jt *JobTracker) isStraggler(j *Job, kind jobKind, started sim.Time) bool {
+	if started < 0 {
+		return false
+	}
+	elapsed := jt.eng.Now() - started
+	if elapsed < jt.cfg.SpeculativeMinRuntime {
+		return false
+	}
+	var sum sim.Time
+	var n int
+	if kind == jobKindMap {
+		for _, m := range j.maps {
+			if m.done {
+				sum += m.duration
+				n++
+			}
+		}
+	} else {
+		for _, r := range j.reduces {
+			if r.done {
+				sum += r.duration
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	avg := sum / sim.Time(n)
+	return float64(elapsed) > jt.cfg.SpeculativeSlowdown*float64(avg)
+}
+
+func (jt *JobTracker) diskBroken(n netmodel.NodeID) bool {
+	return jt.DiskUsable != nil && !jt.DiskUsable(n)
+}
+
+func (jt *JobTracker) servable(n netmodel.NodeID) bool {
+	if jt.DataServable != nil {
+		return jt.DataServable(n)
+	}
+	t, ok := jt.trackers[n]
+	return ok && t.Alive
+}
+
+// AllDone reports whether every submitted job has finished.
+func (jt *JobTracker) AllDone() bool { return jt.active == 0 }
+
+func (jt *JobTracker) finishJob(j *Job, state JobState, reason string) {
+	if j.State == JobSucceeded || j.State == JobFailed {
+		return
+	}
+	j.State = state
+	j.failReason = reason
+	j.FinishTime = jt.eng.Now()
+	jt.active--
+	// Abort any stragglers still running (speculative copies, or all tasks
+	// on failure).
+	for _, m := range j.maps {
+		m.cancelRunning("job finished")
+	}
+	for _, r := range j.reduces {
+		r.cancelRunning("job finished")
+	}
+	// Intermediate map output is deleted only when the entire job is done
+	// (§IV.D.2) — release it now.
+	for _, res := range j.outputReservations {
+		jt.disk.Release(res.node, res.bytes)
+	}
+	j.outputReservations = nil
+	if jt.OnJobComplete != nil {
+		jt.OnJobComplete(j)
+	}
+}

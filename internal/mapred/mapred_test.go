@@ -1,0 +1,435 @@
+package mapred
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hog/internal/disk"
+	"hog/internal/hdfs"
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+	"hog/internal/topology"
+)
+
+type nodeState int
+
+const (
+	healthy nodeState = iota
+	zombie            // tasktracker heartbeats, datanode and data gone (§IV.D.1)
+	dead
+)
+
+// cluster is a self-contained MapReduce test cluster over 5 sites.
+type cluster struct {
+	eng   *sim.Engine
+	net   *netmodel.Network
+	dt    *disk.Tracker
+	nn    *hdfs.Namenode
+	jt    *JobTracker
+	nodes []netmodel.NodeID
+	state map[netmodel.NodeID]nodeState
+}
+
+var clusterDomains = []string{"fnal.gov", "wc1-fnal.gov", "ucsd.edu", "aglt2.org", "mit.edu"}
+
+func newCluster(seed int64, nodesPerSite int, nnCfg hdfs.Config, jtCfg Config) *cluster {
+	c := &cluster{
+		eng:   sim.New(seed),
+		state: make(map[netmodel.NodeID]nodeState),
+	}
+	c.net = netmodel.New(c.eng, netmodel.Config{})
+	c.dt = disk.NewTracker()
+	c.nn = hdfs.NewNamenode(c.eng, c.net, c.dt, nnCfg)
+	c.jt = NewJobTracker(c.eng, c.net, c.nn, c.dt, jtCfg)
+	c.jt.DiskUsable = func(n netmodel.NodeID) bool { return c.state[n] == healthy }
+	c.jt.DataServable = func(n netmodel.NodeID) bool { return c.state[n] == healthy }
+	mapper := topology.NewMapper()
+	for _, dom := range clusterDomains {
+		sid := c.net.AddSite(dom, 300e6, 300e6)
+		for i := 0; i < nodesPerSite; i++ {
+			host := fmt.Sprintf("wn%d.%s", i, dom)
+			id := c.net.AddNode(sid, host)
+			c.dt.SetCapacity(id, 40e9)
+			c.nn.Register(id, host)
+			c.jt.RegisterTracker(id, host, mapper.Site(host), 1, 1)
+			c.nodes = append(c.nodes, id)
+			c.state[id] = healthy
+		}
+	}
+	c.nn.Start()
+	c.jt.Start()
+	// One global heartbeat driver: healthy nodes report to both masters,
+	// zombies only to the JobTracker.
+	c.eng.Every(3*sim.Second, func() {
+		for _, id := range c.nodes {
+			switch c.state[id] {
+			case healthy:
+				c.nn.Heartbeat(id)
+				c.jt.Heartbeat(id)
+			case zombie:
+				c.jt.Heartbeat(id)
+			}
+		}
+	})
+	return c
+}
+
+func (c *cluster) kill(id netmodel.NodeID) {
+	c.state[id] = dead
+	c.dt.Clear(id)
+	c.jt.NodeCrashed(id)
+}
+
+func (c *cluster) makeZombie(id netmodel.NodeID) {
+	c.state[id] = zombie
+	c.dt.Clear(id)
+	c.jt.NodeLostWorkdir(id)
+}
+
+// runUntilDone drives the simulation until all jobs finish or the bound hits.
+func (c *cluster) runUntilDone(t *testing.T, bound sim.Time) {
+	t.Helper()
+	c.eng.RunWhile(func() bool { return !c.jt.AllDone() && c.eng.Now() < bound })
+	if !c.jt.AllDone() {
+		for _, j := range c.jt.Jobs() {
+			t.Logf("%v: maps %d/%d reduces %d/%d", j, j.completedMaps, len(j.maps), j.completedReduces, len(j.reduces))
+		}
+		t.Fatalf("jobs not done by %v", bound)
+	}
+}
+
+func smallJob(c *cluster, name string, blocks, reduces int) JobConfig {
+	c.nn.SeedFile("/in/"+name, float64(blocks)*hdfs.DefaultBlockSize, 0)
+	return JobConfig{Name: name, InputFile: "/in/" + name, Reduces: reduces}
+}
+
+func hogNNCfg() hdfs.Config {
+	cfg := hdfs.HOGConfig()
+	cfg.Replication = 3 // keep small tests fast
+	return cfg
+}
+
+func hogJTCfg() Config {
+	cfg := DefaultConfig()
+	cfg.TrackerTimeout = 30 * sim.Second
+	return cfg
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	c := newCluster(1, 4, hogNNCfg(), hogJTCfg())
+	j := c.jt.Submit(smallJob(c, "j1", 6, 2))
+	c.runUntilDone(t, 4*sim.Hour)
+	if j.State != JobSucceeded {
+		t.Fatalf("job state = %v (%s)", j.State, j.FailReason())
+	}
+	if j.ResponseTime() <= 0 {
+		t.Fatal("non-positive response time")
+	}
+	if j.StartTime < j.SubmitTime || j.FinishTime < j.StartTime {
+		t.Fatal("timestamps out of order")
+	}
+	ctr := j.Counters()
+	if ctr.MapAttemptsStarted < 6 || ctr.ReduceAttemptsStarted < 2 {
+		t.Fatalf("attempts %d/%d, want >= 6/2", ctr.MapAttemptsStarted, ctr.ReduceAttemptsStarted)
+	}
+	// Outputs exist with the right replication.
+	for i := 0; i < 2; i++ {
+		found := false
+		for a := int64(0); a < 50 && !found; a++ {
+			if c.nn.File(fmt.Sprintf("out/j1/part-%05d-a%d", i, a)) != nil {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no output file for partition %d", i)
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	c := newCluster(2, 3, hogNNCfg(), hogJTCfg())
+	j := c.jt.Submit(smallJob(c, "maponly", 5, 0))
+	c.runUntilDone(t, sim.Hour)
+	if j.State != JobSucceeded {
+		t.Fatalf("map-only job state = %v", j.State)
+	}
+	if j.Counters().ReduceAttemptsStarted != 0 {
+		t.Fatal("map-only job started reduces")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	c := newCluster(3, 2, hogNNCfg(), hogJTCfg())
+	j1 := c.jt.Submit(smallJob(c, "first", 8, 2))
+	j2 := c.jt.Submit(smallJob(c, "second", 8, 2))
+	c.runUntilDone(t, 4*sim.Hour)
+	if !(j1.FinishTime <= j2.FinishTime) {
+		t.Fatalf("FIFO violated: first %v, second %v", j1.FinishTime, j2.FinishTime)
+	}
+}
+
+func TestMapLocalityPreferred(t *testing.T) {
+	c := newCluster(4, 4, hogNNCfg(), hogJTCfg())
+	j := c.jt.Submit(smallJob(c, "local", 10, 1))
+	c.runUntilDone(t, 4*sim.Hour)
+	loc := j.Counters().Locality
+	if loc[NodeLocal] == 0 {
+		t.Fatalf("no node-local maps at all: %v", loc)
+	}
+	if loc[NodeLocal] < loc[Remote] {
+		t.Fatalf("remote maps (%d) outnumber node-local (%d) on an idle cluster", loc[Remote], loc[NodeLocal])
+	}
+}
+
+func TestNodeDeathRecovery(t *testing.T) {
+	c := newCluster(5, 4, hogNNCfg(), hogJTCfg())
+	j := c.jt.Submit(smallJob(c, "death", 12, 3))
+	// Kill two nodes shortly after work starts.
+	c.eng.After(40*sim.Second, func() {
+		c.kill(c.nodes[0])
+		c.kill(c.nodes[5])
+	})
+	c.runUntilDone(t, 6*sim.Hour)
+	if j.State != JobSucceeded {
+		t.Fatalf("job did not survive node deaths: %v (%s)", j.State, j.FailReason())
+	}
+	if tr := c.jt.Tracker(c.nodes[0]); tr.Alive {
+		t.Fatal("dead tracker still alive after timeout")
+	}
+}
+
+func TestCompletedMapOutputLossReExecutes(t *testing.T) {
+	c := newCluster(6, 4, hogNNCfg(), hogJTCfg())
+	// Large-ish maps and slow reduces ensure maps complete well before
+	// shuffle drains, so killing a map host loses completed output.
+	cfg := smallJob(c, "reexec", 10, 2)
+	cfg.ReduceCostPerMB = 2 * sim.Second
+	j := c.jt.Submit(cfg)
+	var killed bool
+	c.eng.Every(5*sim.Second, func() {
+		if killed || j.completedMaps == 0 {
+			return
+		}
+		for _, m := range j.maps {
+			if m.done && c.state[m.outputNode] == healthy {
+				c.kill(m.outputNode)
+				killed = true
+				return
+			}
+		}
+	})
+	c.runUntilDone(t, 8*sim.Hour)
+	if !killed {
+		t.Fatal("never killed a map output host")
+	}
+	if j.State != JobSucceeded {
+		t.Fatalf("job state = %v (%s)", j.State, j.FailReason())
+	}
+	if j.Counters().MapsReExecuted == 0 {
+		t.Fatal("no maps re-executed after output loss")
+	}
+}
+
+func TestZombieTrackerFailsFastAndBlacklisted(t *testing.T) {
+	c := newCluster(7, 3, hogNNCfg(), hogJTCfg())
+	j := c.jt.Submit(smallJob(c, "zombie", 10, 2))
+	c.eng.After(10*sim.Second, func() { c.makeZombie(c.nodes[0]) })
+	c.runUntilDone(t, 6*sim.Hour)
+	if j.State != JobSucceeded {
+		t.Fatalf("job state = %v (%s)", j.State, j.FailReason())
+	}
+	// The zombie kept heartbeating, so the JobTracker assigned it work that
+	// failed fast.
+	if j.Counters().MapAttemptsFailed == 0 && j.Counters().ReduceAttemptsFailed == 0 {
+		t.Fatal("zombie absorbed no attempts — model not exercising §IV.D.1")
+	}
+	if tr := c.jt.Tracker(c.nodes[0]); !tr.Alive {
+		t.Fatal("zombie tracker should still look alive to the JobTracker")
+	}
+}
+
+func TestDiskOverflowKillsWorker(t *testing.T) {
+	c := newCluster(8, 3, hogNNCfg(), hogJTCfg())
+	// Shrink every disk so intermediate output can't fit comfortably.
+	for _, id := range c.nodes {
+		c.dt.SetCapacity(id, 450e6)
+	}
+	overflowed := map[netmodel.NodeID]bool{}
+	c.jt.OnDiskOverflow = func(n netmodel.NodeID) {
+		if !overflowed[n] {
+			overflowed[n] = true
+			c.kill(n) // HOG: the daemons shut themselves down
+		}
+	}
+	// 3 jobs x 6 blocks with identity map selectivity overflows 450 MB
+	// nodes (each holds ~2 input replicas already).
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, c.jt.Submit(smallJob(c, fmt.Sprintf("ovf%d", i), 6, 1)))
+	}
+	c.eng.RunWhile(func() bool { return !c.jt.AllDone() && c.eng.Now() < 6*sim.Hour })
+	if len(overflowed) == 0 {
+		t.Fatal("no disk overflow on deliberately tiny disks")
+	}
+	_ = jobs
+}
+
+func TestLostInputFailsJob(t *testing.T) {
+	cfgNN := hogNNCfg()
+	cfgNN.Replication = 2
+	c := newCluster(9, 2, cfgNN, hogJTCfg())
+	cfg := smallJob(c, "lost", 4, 1)
+	// Destroy all replicas of the input before submitting.
+	fi := c.nn.File("/in/lost")
+	for _, bid := range fi.Blocks {
+		for _, rep := range c.nn.Block(bid).Replicas() {
+			c.kill(rep)
+			c.nn.ForceDead(rep)
+			c.jt.ForceTrackerDead(rep)
+		}
+	}
+	j := c.jt.Submit(cfg)
+	c.eng.RunWhile(func() bool { return !c.jt.AllDone() && c.eng.Now() < 2*sim.Hour })
+	if j.State != JobFailed {
+		t.Fatalf("job state = %v, want failed (input lost)", j.State)
+	}
+	if j.FailReason() == "" {
+		t.Fatal("failed job has no reason")
+	}
+}
+
+func TestEagerRedundancyRunsCopies(t *testing.T) {
+	jtCfg := hogJTCfg()
+	jtCfg.EagerRedundancy = true
+	jtCfg.MaxTaskCopies = 2
+	c := newCluster(10, 4, hogNNCfg(), jtCfg)
+	j := c.jt.Submit(smallJob(c, "eager", 4, 1))
+	c.runUntilDone(t, 2*sim.Hour)
+	ctr := j.Counters()
+	if ctr.SpeculativeMaps == 0 {
+		t.Fatal("eager redundancy launched no extra copies")
+	}
+	if j.completedMaps != 4 {
+		t.Fatalf("completedMaps = %d, want 4 (copies must not double-complete)", j.completedMaps)
+	}
+}
+
+func TestStragglerCriterion(t *testing.T) {
+	c := newCluster(11, 2, hogNNCfg(), hogJTCfg())
+	j := c.jt.Submit(smallJob(c, "strag", 2, 1))
+	// White-box: with two completed maps of 10 s average, a task running
+	// since t-60 s is a straggler (60 > 1.33*10), but one started 5 s ago
+	// is not, and nothing is a straggler below the minimum runtime.
+	j.maps[0].done = true
+	j.maps[0].duration = 10 * sim.Second
+	j.maps[1].done = true
+	j.maps[1].duration = 10 * sim.Second
+	c.eng.RunUntil(100 * sim.Second)
+	now := c.eng.Now()
+	if !c.jt.isStraggler(j, jobKindMap, now-60*sim.Second) {
+		t.Fatal("60s-old task not flagged with 10s average")
+	}
+	if c.jt.isStraggler(j, jobKindMap, now-5*sim.Second) {
+		t.Fatal("5s-old task flagged despite min runtime guard")
+	}
+	if c.jt.isStraggler(j, jobKindMap, -1) {
+		t.Fatal("idle task flagged")
+	}
+}
+
+func TestSpeculativeDisabled(t *testing.T) {
+	jtCfg := hogJTCfg()
+	jtCfg.Speculative = false
+	c := newCluster(12, 3, hogNNCfg(), jtCfg)
+	j := c.jt.Submit(smallJob(c, "nospec", 6, 2))
+	c.runUntilDone(t, 2*sim.Hour)
+	ctr := j.Counters()
+	if ctr.SpeculativeMaps != 0 || ctr.SpeculativeReduces != 0 {
+		t.Fatalf("speculation happened while disabled: %+v", ctr)
+	}
+}
+
+func TestSubmitUnknownInputPanics(t *testing.T) {
+	c := newCluster(13, 1, hogNNCfg(), hogJTCfg())
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit with unknown input did not panic")
+		}
+	}()
+	c.jt.Submit(JobConfig{Name: "x", InputFile: "/nope", Reduces: 1})
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	run := func() sim.Time {
+		c := newCluster(99, 3, hogNNCfg(), hogJTCfg())
+		j1 := c.jt.Submit(smallJob(c, "d1", 5, 2))
+		c.eng.After(20*sim.Second, func() { c.kill(c.nodes[2]) })
+		c.runUntilDone(t, 4*sim.Hour)
+		return j1.FinishTime
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic makespan: %v vs %v", a, b)
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	want := map[JobState]string{
+		JobPending: "pending", JobRunning: "running",
+		JobSucceeded: "succeeded", JobFailed: "failed", JobState(9): "unknown",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("JobState(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	lvls := map[LocalityLevel]string{NodeLocal: "node-local", SiteLocal: "site-local", Remote: "remote", LocalityLevel(9): "unknown"}
+	for l, w := range lvls {
+		if l.String() != w {
+			t.Errorf("LocalityLevel(%d) = %q, want %q", l, l.String(), w)
+		}
+	}
+}
+
+// Property: jobs with any small map/reduce shape complete successfully on a
+// healthy cluster, and disk usage returns to the seeded baseline after all
+// intermediate data is released.
+func TestJobShapesProperty(t *testing.T) {
+	f := func(mRaw, rRaw uint8) bool {
+		maps := int(mRaw)%6 + 1
+		reduces := int(rRaw)%4 + 1
+		c := newCluster(int64(mRaw)*7+int64(rRaw)+1, 3, hogNNCfg(), hogJTCfg())
+		baseline := totalUsed(c)
+		cfg := smallJob(c, "p", maps, reduces)
+		inputBytes := float64(maps) * hdfs.DefaultBlockSize * 3 // replication 3
+		j := c.jt.Submit(cfg)
+		c.eng.RunWhile(func() bool { return !c.jt.AllDone() && c.eng.Now() < 6*sim.Hour })
+		if j.State != JobSucceeded {
+			return false
+		}
+		// After completion: input + output remain, intermediate gone.
+		var outBytes float64
+		for i := 0; i < reduces; i++ {
+			for a := int64(0); a < 100; a++ {
+				if fi := c.nn.File(fmt.Sprintf("out/p/part-%05d-a%d", i, a)); fi != nil {
+					outBytes += fi.Size * float64(fi.Replication)
+				}
+			}
+		}
+		used := totalUsed(c)
+		_ = baseline
+		slack := 1e6 // pipeline rounding
+		return used <= inputBytes+outBytes+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func totalUsed(c *cluster) float64 {
+	var sum float64
+	for _, id := range c.nodes {
+		sum += c.dt.Used(id)
+	}
+	return sum
+}

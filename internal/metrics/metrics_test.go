@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hog/internal/sim"
+)
+
+func TestSeriesStepSemantics(t *testing.T) {
+	s := NewSeries("nodes")
+	s.Add(0, 10)
+	s.Add(10*sim.Second, 20)
+	s.Add(30*sim.Second, 5)
+	if got := s.At(-sim.Second); got != 0 {
+		t.Fatalf("At(before first) = %v, want 0", got)
+	}
+	if got := s.At(5 * sim.Second); got != 10 {
+		t.Fatalf("At(5s) = %v, want 10", got)
+	}
+	if got := s.At(10 * sim.Second); got != 20 {
+		t.Fatalf("At(10s) = %v, want 20 (inclusive step)", got)
+	}
+	if got := s.At(sim.Hour); got != 5 {
+		t.Fatalf("At(1h) = %v, want 5", got)
+	}
+}
+
+func TestAreaBetween(t *testing.T) {
+	s := NewSeries("nodes")
+	s.Add(0, 10)
+	s.Add(10*sim.Second, 20)
+	s.Add(30*sim.Second, 0)
+	// [0,10): 10*10 + [10,30): 20*20 + [30,40): 0 = 500.
+	if got := s.AreaBetween(0, 40*sim.Second); got != 500 {
+		t.Fatalf("area = %v, want 500", got)
+	}
+	// Partial window starting mid-step: [5,15) = 10*5 + 20*5 = 150.
+	if got := s.AreaBetween(5*sim.Second, 15*sim.Second); got != 150 {
+		t.Fatalf("partial area = %v, want 150", got)
+	}
+	// Swapped bounds behave the same.
+	if got := s.AreaBetween(15*sim.Second, 5*sim.Second); got != 150 {
+		t.Fatalf("swapped-bounds area = %v, want 150", got)
+	}
+}
+
+func TestAreaConstantSeries(t *testing.T) {
+	s := NewSeries("flat")
+	s.Add(0, 55)
+	// Table IV sanity: 55 nodes for 4396 s ~ 241780 node-seconds.
+	got := s.AreaBetween(0, sim.Seconds(4396))
+	if math.Abs(got-55*4396) > 1 {
+		t.Fatalf("area = %v, want %v", got, 55*4396)
+	}
+}
+
+func TestSeriesBackwardsTimePanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(10*sim.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards Add did not panic")
+		}
+	}()
+	s.Add(5*sim.Second, 2)
+}
+
+func TestMinMax(t *testing.T) {
+	s := NewSeries("x")
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series extremes should be 0")
+	}
+	s.Add(0, 3)
+	s.Add(sim.Second, 9)
+	s.Add(2*sim.Second, 1)
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 1/9", s.Min(), s.Max())
+	}
+}
+
+func TestPointsCopy(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 1)
+	pts := s.Points()
+	pts[0].V = 99
+	if s.At(0) != 1 {
+		t.Fatal("Points() leaked internal storage")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []sim.Time{5 * sim.Second, sim.Second, 3 * sim.Second, 2 * sim.Second, 4 * sim.Second}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != sim.Second || s.Max != 5*sim.Second {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3*sim.Second {
+		t.Fatalf("mean = %v, want 3s", s.Mean)
+	}
+	if s.P50 != 3*sim.Second {
+		t.Fatalf("p50 = %v, want 3s", s.P50)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := NewSeries("nodes")
+	s.Add(0, 55)
+	s.Add(100*sim.Second, 40)
+	out := s.ASCIIPlot(40, 8, 0, 200*sim.Second)
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "*") {
+		t.Fatalf("plot missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // header + 8 rows + footer
+		t.Fatalf("plot has %d lines, want 10", len(lines))
+	}
+	// Degenerate sizes clamp instead of crashing.
+	if small := s.ASCIIPlot(1, 1, 0, sim.Second); small == "" {
+		t.Fatal("tiny plot empty")
+	}
+}
+
+// Property: area of a constant series equals value * window for arbitrary
+// windows, and area is additive over adjacent windows.
+func TestAreaProperties(t *testing.T) {
+	f := func(v uint8, cut uint16) bool {
+		s := NewSeries("c")
+		s.Add(0, float64(v))
+		t1 := sim.Time(100) * sim.Second
+		cutT := sim.Time(cut%100) * sim.Second
+		whole := s.AreaBetween(0, t1)
+		split := s.AreaBetween(0, cutT) + s.AreaBetween(cutT, t1)
+		return math.Abs(whole-float64(v)*100) < 1e-6 && math.Abs(whole-split) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize order statistics are sorted: min <= p50 <= p90 <= p99 <= max.
+func TestSummaryOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]sim.Time, len(raw))
+		for i, r := range raw {
+			xs[i] = sim.Time(r) * sim.Millisecond
+		}
+		s := Summarize(xs)
+		order := []sim.Time{s.Min, s.P50, s.P90, s.P99, s.Max}
+		return sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) ||
+			isNonDecreasing(order)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isNonDecreasing(xs []sim.Time) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package mrlocal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stage is one job of a multi-stage pipeline. Each stage consumes the
+// previous stage's output records, rendered one per line as "key\tvalue"
+// (Hadoop streaming's TextInputFormat convention).
+type Stage struct {
+	Name string
+	Job  Config
+}
+
+// ChainResult carries every stage's output, the last one first-class.
+type ChainResult struct {
+	Final  *Output
+	Stages []*Output
+}
+
+// RunChain executes stages sequentially: stage 1 reads docs, each later
+// stage reads its predecessor's flattened output. This mirrors the common
+// Hadoop idiom of chaining MapReduce jobs through HDFS files — the paper's
+// platform runs such multi-job applications unchanged, and so does this
+// engine.
+func RunChain(stages []Stage, docs []string) (*ChainResult, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("mrlocal: empty chain")
+	}
+	res := &ChainResult{}
+	input := docs
+	for i, st := range stages {
+		out, err := Run(st.Job, input)
+		if err != nil {
+			name := st.Name
+			if name == "" {
+				name = fmt.Sprintf("stage %d", i+1)
+			}
+			return nil, fmt.Errorf("mrlocal: chain %s: %w", name, err)
+		}
+		res.Stages = append(res.Stages, out)
+		res.Final = out
+		input = []string{RenderKV(out.Flatten())}
+	}
+	return res, nil
+}
+
+// RenderKV renders records one per line as "key\tvalue".
+func RenderKV(kvs []KeyValue) string {
+	var sb strings.Builder
+	for i, kv := range kvs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(kv.Key)
+		sb.WriteByte('\t')
+		sb.WriteString(kv.Value)
+	}
+	return sb.String()
+}
+
+// ParseKV splits a "key\tvalue" line produced by RenderKV. Lines without a
+// tab become (line, "").
+func ParseKV(line string) (key, value string) {
+	if i := strings.IndexByte(line, '\t'); i >= 0 {
+		return line[:i], line[i+1:]
+	}
+	return line, ""
+}

@@ -1,0 +1,95 @@
+package mrlocal
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestChainTopWords runs the classic two-stage pipeline: word count, then a
+// frequency inversion so reducers see counts as keys.
+func TestChainTopWords(t *testing.T) {
+	doc := "a a a b b c\na b c c c c"
+	count := Config{
+		Name:        "count",
+		Mapper:      wordCountMapper,
+		Reducer:     sumReducer,
+		NumReducers: 2,
+	}
+	invert := Config{
+		Name: "invert",
+		Mapper: MapperFunc(func(_, line string, emit Emit) error {
+			word, n := ParseKV(line)
+			if word == "" {
+				return nil
+			}
+			// Zero-pad so lexical key order equals numeric order.
+			v, err := strconv.Atoi(n)
+			if err != nil {
+				return err
+			}
+			emit(strconv.Itoa(1000+v), word)
+			return nil
+		}),
+		Reducer: ReducerFunc(func(count string, words []string, emit Emit) error {
+			for _, w := range words {
+				emit(count, w)
+			}
+			return nil
+		}),
+		NumReducers: 1,
+	}
+	res, err := RunChain([]Stage{{"count", count}, {"invert", invert}}, []string{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	flat := res.Final.Flatten()
+	if len(flat) != 3 {
+		t.Fatalf("final records = %d, want 3 words: %v", len(flat), flat)
+	}
+	// Most frequent word last: c appears 5 times, a 4, b 3.
+	if flat[len(flat)-1].Value != "c" || flat[len(flat)-1].Key != "1005" {
+		t.Fatalf("top word = %+v, want c x5", flat[len(flat)-1])
+	}
+}
+
+func TestChainErrorsPropagateWithStage(t *testing.T) {
+	bad := Config{
+		Mapper: MapperFunc(func(_, _ string, _ Emit) error { return errors.New("stage exploded") }),
+	}
+	_, err := RunChain([]Stage{{"first", Config{Mapper: wordCountMapper}}, {"boom", bad}}, []string{"x"})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want stage name in error", err)
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	if _, err := RunChain(nil, nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestRenderParseKV(t *testing.T) {
+	kvs := []KeyValue{{"a", "1"}, {"b", "x\ty"}}
+	text := RenderKV(kvs)
+	lines := strings.Split(text, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	k, v := ParseKV(lines[0])
+	if k != "a" || v != "1" {
+		t.Fatalf("parsed %q %q", k, v)
+	}
+	// Value keeps embedded tabs after the first separator.
+	k, v = ParseKV(lines[1])
+	if k != "b" || v != "x\ty" {
+		t.Fatalf("parsed %q %q", k, v)
+	}
+	if k, v := ParseKV("noseparator"); k != "noseparator" || v != "" {
+		t.Fatalf("parsed %q %q", k, v)
+	}
+}

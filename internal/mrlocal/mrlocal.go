@@ -1,0 +1,350 @@
+// Package mrlocal is a real, concurrent, in-process MapReduce engine with a
+// Hadoop-shaped API: user-defined Mapper and Reducer (plus optional Combiner
+// and Partitioner), line-oriented input splits, a sort-and-group shuffle,
+// and per-partition output.
+//
+// The paper's §III.B.2 promise is that HOG requires no API changes: "They
+// should not have to change their MapReduce code in order to run on our
+// adaptation of Hadoop." This package is the repository's concrete MapReduce
+// programming model — applications written against it are what a HOG-style
+// platform would execute unchanged, and the examples use it to run real
+// computations (the simulation stack models the same jobs at grid scale).
+package mrlocal
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KeyValue is an intermediate or output record.
+type KeyValue struct {
+	Key, Value string
+}
+
+// Emit receives records from map and reduce functions.
+type Emit func(key, value string)
+
+// Mapper transforms one input record into intermediate records. Map is
+// invoked concurrently from multiple goroutines and must be safe for
+// concurrent use (stateless mappers trivially are).
+type Mapper interface {
+	Map(key, value string, emit Emit) error
+}
+
+// Reducer folds all values of one key into output records. Reduce is invoked
+// concurrently across partitions.
+type Reducer interface {
+	Reduce(key string, values []string, emit Emit) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(key, value string, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(k, v string, emit Emit) error { return f(k, v, emit) }
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key string, values []string, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(k string, vs []string, emit Emit) error { return f(k, vs, emit) }
+
+// Partitioner assigns keys to reduce partitions.
+type Partitioner interface {
+	Partition(key string, numReducers int) int
+}
+
+// HashPartitioner is Hadoop's default: hash(key) mod R.
+type HashPartitioner struct{}
+
+// Partition implements Partitioner.
+func (HashPartitioner) Partition(key string, numReducers int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReducers))
+}
+
+// Config describes a job for Run.
+type Config struct {
+	Name string
+	// Mapper and Reducer are required (Reducer may be nil for map-only
+	// jobs, mirroring Hadoop's zero-reduce mode).
+	Mapper  Mapper
+	Reducer Reducer
+	// Combiner, if set, is applied to each map task's local output before
+	// the shuffle (must be associative/commutative like Hadoop's).
+	Combiner Reducer
+	// Partitioner defaults to HashPartitioner.
+	Partitioner Partitioner
+	// NumReducers defaults to 1 (ignored for map-only jobs).
+	NumReducers int
+	// SplitSize is the approximate bytes per input split; defaults to 64 KB
+	// (a scaled-down stand-in for HDFS's 64 MB blocks).
+	SplitSize int
+	// Parallelism bounds concurrent tasks; defaults to GOMAXPROCS.
+	Parallelism int
+}
+
+// Counters reports job statistics.
+type Counters struct {
+	MapTasks          int
+	ReduceTasks       int
+	MapInputRecords   int
+	MapOutputRecords  int
+	CombineOutRecords int
+	ReduceInputKeys   int
+	OutputRecords     int
+}
+
+// Output is a finished job's result.
+type Output struct {
+	// Partitions holds each reduce partition's records sorted by key; for
+	// map-only jobs there is one pseudo-partition per map task.
+	Partitions [][]KeyValue
+	Counters   Counters
+}
+
+// Flatten merges all partitions sorted by key (stable for equal keys).
+func (o *Output) Flatten() []KeyValue {
+	var all []KeyValue
+	for _, p := range o.Partitions {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	return all
+}
+
+// Lookup returns all values emitted for a key.
+func (o *Output) Lookup(key string) []string {
+	var vs []string
+	for _, p := range o.Partitions {
+		i := sort.Search(len(p), func(i int) bool { return p[i].Key >= key })
+		for ; i < len(p) && p[i].Key == key; i++ {
+			vs = append(vs, p[i].Value)
+		}
+	}
+	return vs
+}
+
+// split is one map task's input: a run of lines with byte offsets as keys.
+type split struct {
+	startOffset int
+	lines       []string
+}
+
+// SplitText divides documents into line-aligned splits of roughly splitSize
+// bytes, never breaking a line across splits (Hadoop's TextInputFormat
+// contract).
+func SplitText(docs []string, splitSize int) []split {
+	if splitSize <= 0 {
+		splitSize = 64 << 10
+	}
+	var splits []split
+	for _, doc := range docs {
+		lines := strings.Split(doc, "\n")
+		cur := split{startOffset: 0}
+		curBytes, offset := 0, 0
+		for _, line := range lines {
+			if curBytes > 0 && curBytes+len(line) > splitSize {
+				splits = append(splits, cur)
+				cur = split{startOffset: offset}
+				curBytes = 0
+			}
+			cur.lines = append(cur.lines, line)
+			curBytes += len(line) + 1
+			offset += len(line) + 1
+		}
+		if len(cur.lines) > 0 {
+			splits = append(splits, cur)
+		}
+	}
+	return splits
+}
+
+// Run executes the job over the given documents and returns its output. Map
+// tasks run concurrently (one per split), then each reduce partition is
+// sorted, grouped and reduced concurrently. The first task error aborts the
+// job.
+func Run(cfg Config, docs []string) (*Output, error) {
+	if cfg.Mapper == nil {
+		return nil, errors.New("mrlocal: Mapper is required")
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = HashPartitioner{}
+	}
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = 1
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	splits := SplitText(docs, cfg.SplitSize)
+	out := &Output{}
+	out.Counters.MapTasks = len(splits)
+
+	mapOuts, mapStats, err := runMapPhase(cfg, splits)
+	if err != nil {
+		return nil, err
+	}
+	out.Counters.MapInputRecords = mapStats.in
+	out.Counters.MapOutputRecords = mapStats.out
+	out.Counters.CombineOutRecords = mapStats.combined
+
+	if cfg.Reducer == nil {
+		// Map-only: each map task's (combined) output is a partition.
+		out.Partitions = mapOuts
+		for _, p := range out.Partitions {
+			sortByKey(p)
+			out.Counters.OutputRecords += len(p)
+		}
+		return out, nil
+	}
+
+	// Shuffle: scatter map outputs into reduce partitions.
+	parts := make([][]KeyValue, cfg.NumReducers)
+	for _, mo := range mapOuts {
+		for _, kv := range mo {
+			p := cfg.Partitioner.Partition(kv.Key, cfg.NumReducers)
+			if p < 0 || p >= cfg.NumReducers {
+				return nil, fmt.Errorf("mrlocal: partitioner returned %d for %d reducers", p, cfg.NumReducers)
+			}
+			parts[p] = append(parts[p], kv)
+		}
+	}
+	out.Counters.ReduceTasks = cfg.NumReducers
+
+	results := make([][]KeyValue, cfg.NumReducers)
+	keys := make([]int, cfg.NumReducers)
+	err = forEachLimit(cfg.Parallelism, cfg.NumReducers, func(i int) error {
+		res, nKeys, err := reducePartition(cfg.Reducer, parts[i])
+		results[i] = res
+		keys[i] = nKeys
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Partitions = results
+	for i := range results {
+		out.Counters.ReduceInputKeys += keys[i]
+		out.Counters.OutputRecords += len(results[i])
+	}
+	return out, nil
+}
+
+type mapStats struct{ in, out, combined int }
+
+func runMapPhase(cfg Config, splits []split) ([][]KeyValue, mapStats, error) {
+	outs := make([][]KeyValue, len(splits))
+	var mu sync.Mutex
+	stats := mapStats{}
+	err := forEachLimit(cfg.Parallelism, len(splits), func(i int) error {
+		sp := splits[i]
+		var local []KeyValue
+		emit := func(k, v string) { local = append(local, KeyValue{k, v}) }
+		in := 0
+		offset := sp.startOffset
+		for _, line := range sp.lines {
+			in++
+			if err := cfg.Mapper.Map(fmt.Sprintf("%d", offset), line, emit); err != nil {
+				return fmt.Errorf("mrlocal: map task %d: %w", i, err)
+			}
+			offset += len(line) + 1
+		}
+		rawOut := len(local)
+		if cfg.Combiner != nil && len(local) > 0 {
+			combined, _, err := reducePartition(cfg.Combiner, local)
+			if err != nil {
+				return fmt.Errorf("mrlocal: combine task %d: %w", i, err)
+			}
+			local = combined
+		}
+		outs[i] = local
+		mu.Lock()
+		stats.in += in
+		stats.out += rawOut
+		stats.combined += len(local)
+		mu.Unlock()
+		return nil
+	})
+	return outs, stats, err
+}
+
+// reducePartition sorts, groups and reduces one partition.
+func reducePartition(r Reducer, kvs []KeyValue) ([]KeyValue, int, error) {
+	sortByKey(kvs)
+	var out []KeyValue
+	emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
+	nKeys := 0
+	for i := 0; i < len(kvs); {
+		j := i
+		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
+			j++
+		}
+		vals := make([]string, 0, j-i)
+		for _, kv := range kvs[i:j] {
+			vals = append(vals, kv.Value)
+		}
+		nKeys++
+		if err := r.Reduce(kvs[i].Key, vals, emit); err != nil {
+			return nil, nKeys, fmt.Errorf("reduce key %q: %w", kvs[i].Key, err)
+		}
+		i = j
+	}
+	sortByKey(out)
+	return out, nKeys, nil
+}
+
+func sortByKey(kvs []KeyValue) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+}
+
+// forEachLimit runs fn(0..n-1) with at most limit goroutines, returning the
+// first error (remaining tasks may still run to completion; new tasks are
+// not started after an error).
+func forEachLimit(limit, n int, fn func(i int) error) error {
+	if limit > n {
+		limit = n
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

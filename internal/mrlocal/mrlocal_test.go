@@ -1,0 +1,273 @@
+package mrlocal
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wordCountMapper tokenizes on whitespace.
+var wordCountMapper = MapperFunc(func(_, line string, emit Emit) error {
+	for _, w := range strings.Fields(line) {
+		emit(strings.ToLower(w), "1")
+	}
+	return nil
+})
+
+var sumReducer = ReducerFunc(func(key string, values []string, emit Emit) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+	return nil
+})
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"the quick brown fox\njumps over the lazy dog\nthe end"}
+	out, err := Run(Config{
+		Name:        "wordcount",
+		Mapper:      wordCountMapper,
+		Reducer:     sumReducer,
+		NumReducers: 3,
+	}, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Lookup("the"); len(got) != 1 || got[0] != "3" {
+		t.Fatalf(`Lookup("the") = %v, want ["3"]`, got)
+	}
+	if got := out.Lookup("fox"); len(got) != 1 || got[0] != "1" {
+		t.Fatalf(`Lookup("fox") = %v, want ["1"]`, got)
+	}
+	if got := out.Lookup("absent"); got != nil {
+		t.Fatalf("Lookup(absent) = %v, want nil", got)
+	}
+	if out.Counters.MapInputRecords != 3 {
+		t.Fatalf("map input records = %d, want 3 lines", out.Counters.MapInputRecords)
+	}
+	if out.Counters.ReduceTasks != 3 {
+		t.Fatalf("reduce tasks = %d", out.Counters.ReduceTasks)
+	}
+	// Every partition sorted by key.
+	for _, p := range out.Partitions {
+		for i := 1; i < len(p); i++ {
+			if p[i].Key < p[i-1].Key {
+				t.Fatal("partition not sorted")
+			}
+		}
+	}
+}
+
+func TestCombinerEquivalence(t *testing.T) {
+	doc := strings.Repeat("alpha beta beta gamma\n", 200)
+	base, err := Run(Config{Mapper: wordCountMapper, Reducer: sumReducer, NumReducers: 2, SplitSize: 256}, []string{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := Run(Config{Mapper: wordCountMapper, Reducer: sumReducer, Combiner: sumReducer, NumReducers: 2, SplitSize: 256}, []string{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := base.Flatten(), comb.Flatten()
+	if len(a) != len(b) {
+		t.Fatalf("output sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("combiner changed results at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if comb.Counters.CombineOutRecords >= comb.Counters.MapOutputRecords {
+		t.Fatalf("combiner did not shrink map output: %d -> %d",
+			comb.Counters.MapOutputRecords, comb.Counters.CombineOutRecords)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	grep := MapperFunc(func(off, line string, emit Emit) error {
+		if strings.Contains(line, "ERROR") {
+			emit(off, line)
+		}
+		return nil
+	})
+	docs := []string{"ok line\nERROR one\nfine\nERROR two"}
+	out, err := Run(Config{Mapper: grep}, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Counters.OutputRecords != 2 {
+		t.Fatalf("grep matched %d, want 2", out.Counters.OutputRecords)
+	}
+	if out.Counters.ReduceTasks != 0 {
+		t.Fatal("map-only job ran reducers")
+	}
+}
+
+func TestSplitTextRespectsLines(t *testing.T) {
+	doc := "aaaa\nbbbb\ncccc\ndddd\neeee"
+	splits := SplitText([]string{doc}, 10)
+	if len(splits) < 2 {
+		t.Fatalf("splits = %d, want >= 2", len(splits))
+	}
+	var all []string
+	for _, sp := range splits {
+		all = append(all, sp.lines...)
+	}
+	if strings.Join(all, "\n") != doc {
+		t.Fatalf("splits lost content: %q", strings.Join(all, "\n"))
+	}
+	// Offsets are consistent with line lengths.
+	offset := 0
+	for _, sp := range splits {
+		if sp.startOffset != offset {
+			t.Fatalf("split offset %d, want %d", sp.startOffset, offset)
+		}
+		for _, l := range sp.lines {
+			offset += len(l) + 1
+		}
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	firstChar := partitionerFunc(func(key string, n int) int {
+		if key == "" {
+			return 0
+		}
+		return int(key[0]) % n
+	})
+	out, err := Run(Config{
+		Mapper:      wordCountMapper,
+		Reducer:     sumReducer,
+		Partitioner: firstChar,
+		NumReducers: 4,
+	}, []string{"apple avocado banana berry cherry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 'a' words share a partition, all 'b' words share one, etc.
+	for _, p := range out.Partitions {
+		seen := map[byte]bool{}
+		for _, kv := range p {
+			seen[kv.Key[0]] = true
+		}
+		byMod := map[int]bool{}
+		for c := range seen {
+			byMod[int(c)%4] = true
+		}
+		if len(byMod) > 1 {
+			t.Fatalf("partition mixes modulo classes: %v", p)
+		}
+	}
+}
+
+type partitionerFunc func(string, int) int
+
+func (f partitionerFunc) Partition(k string, n int) int { return f(k, n) }
+
+func TestBadPartitionerRejected(t *testing.T) {
+	bad := partitionerFunc(func(string, int) int { return 99 })
+	_, err := Run(Config{Mapper: wordCountMapper, Reducer: sumReducer, Partitioner: bad, NumReducers: 2}, []string{"x"})
+	if err == nil {
+		t.Fatal("out-of-range partition not rejected")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	m := MapperFunc(func(_, line string, _ Emit) error {
+		if strings.Contains(line, "bad") {
+			return boom
+		}
+		return nil
+	})
+	_, err := Run(Config{Mapper: m, Reducer: sumReducer, SplitSize: 4}, []string{"ok\nbad\nok"})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	r := ReducerFunc(func(key string, _ []string, _ Emit) error {
+		if key == "bad" {
+			return errors.New("reduce boom")
+		}
+		return nil
+	})
+	m := MapperFunc(func(_, line string, emit Emit) error { emit(line, "1"); return nil })
+	_, err := Run(Config{Mapper: m, Reducer: r}, []string{"good\nbad"})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want reduce failure naming key", err)
+	}
+}
+
+func TestMissingMapper(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Fatal("missing mapper accepted")
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	doc := strings.Repeat("one two three four five six seven\n", 300)
+	var outs []string
+	for _, par := range []int{1, 4, 16} {
+		out, err := Run(Config{
+			Mapper: wordCountMapper, Reducer: sumReducer,
+			NumReducers: 3, SplitSize: 512, Parallelism: par,
+		}, []string{doc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, fmt.Sprintf("%v", out.Flatten()))
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Fatal("output depends on parallelism")
+	}
+}
+
+// Property: word counts from the engine match a direct sequential count for
+// random documents.
+func TestWordCountProperty(t *testing.T) {
+	f := func(words []uint8, reducersRaw uint8) bool {
+		if len(words) == 0 {
+			return true
+		}
+		vocab := []string{"ant", "bee", "cat", "dog", "elk", "fox"}
+		var sb strings.Builder
+		want := map[string]int{}
+		for i, w := range words {
+			word := vocab[int(w)%len(vocab)]
+			want[word]++
+			sb.WriteString(word)
+			if i%5 == 4 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		out, err := Run(Config{
+			Mapper: wordCountMapper, Reducer: sumReducer,
+			NumReducers: int(reducersRaw)%5 + 1, SplitSize: 64,
+		}, []string{sb.String()})
+		if err != nil {
+			return false
+		}
+		for w, n := range want {
+			got := out.Lookup(w)
+			if len(got) != 1 || got[0] != strconv.Itoa(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,385 @@
+// Package netmodel provides a fluid-flow network and disk model for the
+// simulated grid.
+//
+// The model captures the bandwidth structure the paper relies on (§III.B.1):
+// bandwidth inside a site is much larger than bandwidth between sites. Each
+// node has a full-duplex NIC; each site has a WAN uplink and downlink shared
+// by all of its nodes; cross-site flows are additionally capped per flow to
+// model TCP throughput over a high-latency WAN. Disks are modelled as one
+// more shared resource per node so that concurrent task I/O on a node slows
+// down proportionally.
+//
+// Every active transfer is a fluid flow whose instantaneous rate is the
+// minimum equal share across the links it crosses. Whenever a flow starts or
+// finishes, remaining bytes of affected flows are settled at the old rates
+// and new rates are computed; completions are re-scheduled on the simulation
+// engine. This is the classic progressive-sharing approximation used by grid
+// and datacenter simulators.
+package netmodel
+
+import (
+	"fmt"
+
+	"hog/internal/sim"
+)
+
+// NodeID identifies a node in the network. IDs are dense, starting at 0, in
+// the order nodes were added.
+type NodeID int
+
+// SiteID identifies a site (a shared WAN uplink/downlink domain).
+type SiteID int
+
+// Config holds the physical constants of the model. Zero fields are replaced
+// by defaults (see DefaultConfig).
+type Config struct {
+	// NodeBps is per-node NIC bandwidth, bytes/sec, each direction.
+	NodeBps float64
+	// DiskBps is per-node disk bandwidth, bytes/sec, shared by reads and writes.
+	DiskBps float64
+	// WANFlowBps caps a single cross-site flow (TCP over WAN).
+	WANFlowBps float64
+	// LANLatency and WANLatency are one-way propagation delays added to the
+	// start of each flow.
+	LANLatency, WANLatency sim.Time
+}
+
+// DefaultConfig returns the constants used throughout the evaluation:
+// 1 Gbps NICs (Table III), ~100 MB/s commodity disks, 100 Mbps per-flow WAN
+// throughput, and 0.2 ms / 40 ms LAN / WAN latency.
+func DefaultConfig() Config {
+	return Config{
+		NodeBps:    125e6,
+		DiskBps:    100e6,
+		WANFlowBps: 12.5e6,
+		LANLatency: 200 * sim.Microsecond,
+		WANLatency: 40 * sim.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NodeBps <= 0 {
+		c.NodeBps = d.NodeBps
+	}
+	if c.DiskBps <= 0 {
+		c.DiskBps = d.DiskBps
+	}
+	if c.WANFlowBps <= 0 {
+		c.WANFlowBps = d.WANFlowBps
+	}
+	if c.LANLatency <= 0 {
+		c.LANLatency = d.LANLatency
+	}
+	if c.WANLatency <= 0 {
+		c.WANLatency = d.WANLatency
+	}
+	return c
+}
+
+// link is a shared resource: NIC direction, site uplink/downlink, or disk.
+type link struct {
+	capacity float64
+	active   int
+}
+
+func (l *link) share() float64 {
+	if l.active <= 0 {
+		return l.capacity
+	}
+	return l.capacity / float64(l.active)
+}
+
+type nodeState struct {
+	site     SiteID
+	up, down link
+	disk     link
+	hostname string
+}
+
+type siteState struct {
+	name     string
+	up, down link
+}
+
+// Stats accumulates traffic counters for experiment reporting.
+type Stats struct {
+	// BytesTotal is the total payload bytes moved by completed flows
+	// (network flows only, not disk I/O).
+	BytesTotal float64
+	// BytesCrossSite is the subset of BytesTotal that crossed a WAN link.
+	BytesCrossSite float64
+	// BytesDisk is total disk I/O bytes completed.
+	BytesDisk float64
+	// FlowsStarted and FlowsCanceled count network flows.
+	FlowsStarted, FlowsCanceled int
+}
+
+// Network is the simulated fabric. It is driven entirely by the sim engine
+// and is not safe for concurrent use.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes []*nodeState
+	sites []*siteState
+	flows map[*Flow]struct{}
+	stats Stats
+}
+
+// New creates an empty network on eng.
+func New(eng *sim.Engine, cfg Config) *Network {
+	return &Network{
+		eng:   eng,
+		cfg:   cfg.withDefaults(),
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// AddSite registers a site with the given WAN uplink/downlink capacities in
+// bytes/sec and returns its ID.
+func (n *Network) AddSite(name string, uplinkBps, downlinkBps float64) SiteID {
+	n.sites = append(n.sites, &siteState{
+		name: name,
+		up:   link{capacity: uplinkBps},
+		down: link{capacity: downlinkBps},
+	})
+	return SiteID(len(n.sites) - 1)
+}
+
+// AddNode registers a node at site and returns its ID. hostname is used only
+// for reporting and topology tests.
+func (n *Network) AddNode(site SiteID, hostname string) NodeID {
+	if int(site) < 0 || int(site) >= len(n.sites) {
+		panic(fmt.Sprintf("netmodel: AddNode with unknown site %d", site))
+	}
+	n.nodes = append(n.nodes, &nodeState{
+		site:     site,
+		up:       link{capacity: n.cfg.NodeBps},
+		down:     link{capacity: n.cfg.NodeBps},
+		disk:     link{capacity: n.cfg.DiskBps},
+		hostname: hostname,
+	})
+	return NodeID(len(n.nodes) - 1)
+}
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumSites returns the number of registered sites.
+func (n *Network) NumSites() int { return len(n.sites) }
+
+// SiteOf returns the site a node belongs to.
+func (n *Network) SiteOf(id NodeID) SiteID { return n.nodes[id].site }
+
+// SiteName returns the registered name of a site.
+func (n *Network) SiteName(id SiteID) string { return n.sites[id].name }
+
+// Hostname returns the hostname a node was registered with.
+func (n *Network) Hostname(id NodeID) string { return n.nodes[id].hostname }
+
+// SameSite reports whether two nodes share a site.
+func (n *Network) SameSite(a, b NodeID) bool { return n.nodes[a].site == n.nodes[b].site }
+
+// Stats returns a copy of the accumulated traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ActiveFlows returns the number of in-flight flows (network and disk).
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Flow is an in-flight transfer. It is created by StartFlow or StartDiskIO
+// and owned by the network until completion or cancellation.
+type Flow struct {
+	net        *Network
+	links      []*link
+	remaining  float64
+	rate       float64
+	lastSettle sim.Time
+	capBps     float64
+	done       func()
+	timer      *sim.Timer
+	active     bool // joined links (latency elapsed)
+	finished   bool
+	crossSite  bool
+	diskIO     bool
+	bytes      float64
+}
+
+// StartFlow begins a transfer of bytes from src to dst, invoking done when
+// the last byte arrives. A cross-site flow crosses both sites' WAN links and
+// is capped at cfg.WANFlowBps. src must differ from dst: a local "transfer"
+// is disk traffic and must use StartDiskIO instead.
+func (n *Network) StartFlow(src, dst NodeID, bytes float64, done func()) *Flow {
+	if src == dst {
+		panic("netmodel: StartFlow with src == dst; use StartDiskIO")
+	}
+	ns, nd := n.nodes[src], n.nodes[dst]
+	f := &Flow{
+		net:       n,
+		remaining: bytes,
+		bytes:     bytes,
+		done:      done,
+		capBps:    n.cfg.NodeBps,
+	}
+	latency := n.cfg.LANLatency
+	f.links = append(f.links, &ns.up, &nd.down)
+	if ns.site != nd.site {
+		ss, sd := n.sites[ns.site], n.sites[nd.site]
+		f.links = append(f.links, &ss.up, &sd.down)
+		f.capBps = n.cfg.WANFlowBps
+		f.crossSite = true
+		latency = n.cfg.WANLatency
+	}
+	n.stats.FlowsStarted++
+	n.admit(f, latency)
+	return f
+}
+
+// StartDiskIO begins a disk read or write of bytes on node, invoking done on
+// completion. Concurrent I/O on the same node shares the disk bandwidth.
+func (n *Network) StartDiskIO(node NodeID, bytes float64, done func()) *Flow {
+	f := &Flow{
+		net:       n,
+		remaining: bytes,
+		bytes:     bytes,
+		done:      done,
+		capBps:    n.cfg.DiskBps,
+		diskIO:    true,
+	}
+	f.links = append(f.links, &n.nodes[node].disk)
+	n.admit(f, 0)
+	return f
+}
+
+func (n *Network) admit(f *Flow, latency sim.Time) {
+	if f.remaining <= 0 {
+		// Zero-byte transfers complete after the propagation latency.
+		f.finished = true
+		n.eng.After(latency, func() {
+			if f.done != nil {
+				f.done()
+			}
+		})
+		return
+	}
+	join := func() {
+		if f.finished {
+			return
+		}
+		n.flows[f] = struct{}{}
+		for _, l := range f.links {
+			l.active++
+		}
+		f.active = true
+		f.lastSettle = n.eng.Now()
+		n.rebalance()
+	}
+	if latency > 0 {
+		n.eng.After(latency, join)
+	} else {
+		join()
+	}
+}
+
+// Cancel aborts the flow without invoking done. Canceling a finished flow is
+// a no-op.
+func (f *Flow) Cancel() {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	if f.timer != nil {
+		f.timer.Cancel()
+	}
+	if f.active {
+		f.net.leave(f)
+		if !f.diskIO {
+			f.net.stats.FlowsCanceled++
+		}
+		f.net.rebalance()
+	}
+}
+
+// Remaining returns the bytes not yet transferred, settled to the current
+// instant.
+func (f *Flow) Remaining() float64 {
+	if f.finished {
+		return 0
+	}
+	if !f.active {
+		return f.remaining
+	}
+	dt := (f.net.eng.Now() - f.lastSettle).Seconds()
+	rem := f.remaining - f.rate*dt
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+func (n *Network) leave(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.links {
+		l.active--
+	}
+	f.active = false
+}
+
+// rebalance settles every active flow at its old rate, recomputes rates from
+// the current link populations, and reschedules completion events.
+func (n *Network) rebalance() {
+	now := n.eng.Now()
+	for f := range n.flows {
+		dt := (now - f.lastSettle).Seconds()
+		if dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+			f.lastSettle = now
+		}
+		rate := f.capBps
+		for _, l := range f.links {
+			if s := l.share(); s < rate {
+				rate = s
+			}
+		}
+		if rate == f.rate && f.timer != nil && f.timer.Active() {
+			continue
+		}
+		f.rate = rate
+		if f.timer != nil {
+			f.timer.Cancel()
+		}
+		if rate <= 0 {
+			f.timer = nil
+			continue
+		}
+		remain := f.remaining
+		fin := sim.Seconds(remain / rate)
+		if fin < 0 {
+			fin = 0
+		}
+		ff := f
+		f.timer = n.eng.After(fin, func() { n.complete(ff) })
+	}
+}
+
+func (n *Network) complete(f *Flow) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	n.leave(f)
+	if f.diskIO {
+		n.stats.BytesDisk += f.bytes
+	} else {
+		n.stats.BytesTotal += f.bytes
+		if f.crossSite {
+			n.stats.BytesCrossSite += f.bytes
+		}
+	}
+	n.rebalance()
+	if f.done != nil {
+		f.done()
+	}
+}

@@ -1,0 +1,295 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hog/internal/sim"
+)
+
+// testNet builds a 2-site network with nNodes per site and round capacities.
+func testNet(t *testing.T, seed int64, nodesPerSite int) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.New(seed)
+	net := New(eng, Config{
+		NodeBps:    100e6,
+		DiskBps:    50e6,
+		WANFlowBps: 10e6,
+		LANLatency: sim.Millisecond,
+		WANLatency: 40 * sim.Millisecond,
+	})
+	a := net.AddSite("a.edu", 200e6, 200e6)
+	b := net.AddSite("b.edu", 200e6, 200e6)
+	for i := 0; i < nodesPerSite; i++ {
+		net.AddNode(a, "n.a.edu")
+		net.AddNode(b, "n.b.edu")
+	}
+	return eng, net
+}
+
+func TestSingleLANFlow(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	// Nodes 0 and 2 are both at site a (interleaved add order).
+	if !net.SameSite(0, 2) {
+		t.Fatal("expected nodes 0 and 2 on the same site")
+	}
+	var doneAt sim.Time
+	net.StartFlow(0, 2, 100e6, func() { doneAt = eng.Now() })
+	eng.Run()
+	// 100 MB at 100 MB/s NIC = 1 s plus 1 ms latency.
+	want := sim.Second + sim.Millisecond
+	if diff := doneAt - want; diff < -sim.Millisecond || diff > sim.Millisecond {
+		t.Fatalf("LAN flow finished at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestWANFlowCapped(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	if net.SameSite(0, 1) {
+		t.Fatal("nodes 0 and 1 should be on different sites")
+	}
+	var doneAt sim.Time
+	net.StartFlow(0, 1, 10e6, func() { doneAt = eng.Now() })
+	eng.Run()
+	// 10 MB at the 10 MB/s per-flow WAN cap = 1 s plus 40 ms latency.
+	want := sim.Second + 40*sim.Millisecond
+	if diff := doneAt - want; diff < -sim.Millisecond || diff > sim.Millisecond {
+		t.Fatalf("WAN flow finished at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestNICSharing(t *testing.T) {
+	eng, net := testNet(t, 1, 3)
+	// Two flows out of node 0 to two distinct same-site destinations share
+	// the 100 MB/s NIC: each gets 50 MB/s.
+	var t1, t2 sim.Time
+	net.StartFlow(0, 2, 50e6, func() { t1 = eng.Now() })
+	net.StartFlow(0, 4, 50e6, func() { t2 = eng.Now() })
+	eng.Run()
+	want := sim.Second + sim.Millisecond
+	for _, got := range []sim.Time{t1, t2} {
+		if diff := got - want; diff < -5*sim.Millisecond || diff > 5*sim.Millisecond {
+			t.Fatalf("shared NIC flow finished at %v, want ~%v", got, want)
+		}
+	}
+}
+
+func TestRateIncreasesWhenCompetitorFinishes(t *testing.T) {
+	eng, net := testNet(t, 1, 3)
+	var tShort, tLong sim.Time
+	net.StartFlow(0, 2, 25e6, func() { tShort = eng.Now() })
+	net.StartFlow(0, 4, 75e6, func() { tLong = eng.Now() })
+	eng.Run()
+	// Short: 25 MB at 50 MB/s = 0.5 s. Long: 25 MB at 50 + 50 MB at full
+	// 100 MB/s = 1.0 s.
+	if diff := math.Abs(tShort.Seconds() - 0.501); diff > 0.01 {
+		t.Fatalf("short flow at %v, want ~0.501s", tShort)
+	}
+	if diff := math.Abs(tLong.Seconds() - 1.001); diff > 0.01 {
+		t.Fatalf("long flow at %v, want ~1.001s", tLong)
+	}
+}
+
+func TestSiteUplinkSharing(t *testing.T) {
+	eng, net := testNet(t, 1, 40)
+	// 40 cross-site flows from distinct site-a nodes to distinct site-b
+	// nodes: the 200 MB/s uplink shares to 5 MB/s each, below the 10 MB/s
+	// per-flow cap.
+	var finished []sim.Time
+	for i := 0; i < 40; i++ {
+		src := NodeID(2 * i)   // site a
+		dst := NodeID(2*i + 1) // site b
+		net.StartFlow(src, dst, 5e6, func() { finished = append(finished, eng.Now()) })
+	}
+	eng.Run()
+	if len(finished) != 40 {
+		t.Fatalf("finished %d flows, want 40", len(finished))
+	}
+	want := sim.Second + 40*sim.Millisecond
+	for _, got := range finished {
+		if diff := got - want; diff < -10*sim.Millisecond || diff > 10*sim.Millisecond {
+			t.Fatalf("uplink-shared flow finished at %v, want ~%v", got, want)
+		}
+	}
+}
+
+func TestDiskIOSharing(t *testing.T) {
+	eng, net := testNet(t, 1, 1)
+	var t1, t2 sim.Time
+	net.StartDiskIO(0, 25e6, func() { t1 = eng.Now() })
+	net.StartDiskIO(0, 25e6, func() { t2 = eng.Now() })
+	eng.Run()
+	// 50 MB/s disk shared two ways: 25 MB at 25 MB/s = 1 s each.
+	for _, got := range []sim.Time{t1, t2} {
+		if math.Abs(got.Seconds()-1.0) > 0.01 {
+			t.Fatalf("disk IO finished at %v, want ~1s", got)
+		}
+	}
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	done := false
+	net.StartFlow(0, 1, 0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("zero-byte flow never completed")
+	}
+}
+
+func TestCancelSuppressesDone(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	done := false
+	f := net.StartFlow(0, 2, 100e6, func() { done = true })
+	eng.After(100*sim.Millisecond, func() { f.Cancel() })
+	eng.Run()
+	if done {
+		t.Fatal("canceled flow invoked done")
+	}
+	if net.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after cancel, want 0", net.ActiveFlows())
+	}
+	if net.Stats().FlowsCanceled != 1 {
+		t.Fatalf("FlowsCanceled = %d, want 1", net.Stats().FlowsCanceled)
+	}
+}
+
+func TestCancelReleasesBandwidth(t *testing.T) {
+	eng, net := testNet(t, 1, 3)
+	var tKeep sim.Time
+	f := net.StartFlow(0, 2, 1000e6, nil)
+	net.StartFlow(0, 4, 75e6, func() { tKeep = eng.Now() })
+	eng.After(500*sim.Millisecond, func() { f.Cancel() })
+	eng.Run()
+	// Survivor: ~25 MB in the first 0.5 s at 50 MB/s, then 50 MB at
+	// 100 MB/s = 1.0 s total.
+	if math.Abs(tKeep.Seconds()-1.001) > 0.02 {
+		t.Fatalf("survivor finished at %v, want ~1.0s", tKeep)
+	}
+}
+
+func TestRemainingSettles(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	f := net.StartFlow(0, 2, 100e6, nil)
+	var mid float64
+	eng.After(501*sim.Millisecond, func() { mid = f.Remaining() })
+	eng.Run()
+	// After 0.5 s at 100 MB/s (minus 1 ms latency), ~50 MB remain.
+	if math.Abs(mid-50e6) > 2e6 {
+		t.Fatalf("Remaining at midpoint = %.0f, want ~50e6", mid)
+	}
+	if f.Remaining() != 0 {
+		t.Fatalf("Remaining after completion = %.0f, want 0", f.Remaining())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	net.StartFlow(0, 2, 10e6, nil) // LAN
+	net.StartFlow(0, 1, 10e6, nil) // WAN
+	net.StartDiskIO(0, 5e6, nil)
+	eng.Run()
+	st := net.Stats()
+	if st.BytesTotal != 20e6 {
+		t.Fatalf("BytesTotal = %.0f, want 20e6", st.BytesTotal)
+	}
+	if st.BytesCrossSite != 10e6 {
+		t.Fatalf("BytesCrossSite = %.0f, want 10e6", st.BytesCrossSite)
+	}
+	if st.BytesDisk != 5e6 {
+		t.Fatalf("BytesDisk = %.0f, want 5e6", st.BytesDisk)
+	}
+	if st.FlowsStarted != 2 {
+		t.Fatalf("FlowsStarted = %d, want 2", st.FlowsStarted)
+	}
+}
+
+func TestLocalFlowPanics(t *testing.T) {
+	_, net := testNet(t, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("StartFlow(src==dst) did not panic")
+		}
+	}()
+	net.StartFlow(0, 0, 1e6, nil)
+}
+
+func TestAddNodeUnknownSitePanics(t *testing.T) {
+	eng := sim.New(1)
+	net := New(eng, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode with bad site did not panic")
+		}
+	}()
+	net.AddNode(SiteID(3), "x")
+}
+
+func TestAccessors(t *testing.T) {
+	_, net := testNet(t, 1, 1)
+	if net.NumNodes() != 2 || net.NumSites() != 2 {
+		t.Fatalf("NumNodes=%d NumSites=%d", net.NumNodes(), net.NumSites())
+	}
+	if net.SiteName(net.SiteOf(0)) != "a.edu" {
+		t.Fatalf("SiteName = %q", net.SiteName(net.SiteOf(0)))
+	}
+	if net.Hostname(0) != "n.a.edu" {
+		t.Fatalf("Hostname = %q", net.Hostname(0))
+	}
+}
+
+// Property: total bytes delivered equals total bytes requested for any set
+// of concurrent LAN flows (flow conservation), and all flows complete.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.New(1)
+		net := New(eng, Config{NodeBps: 10e6, LANLatency: sim.Millisecond})
+		s := net.AddSite("s.edu", 1e9, 1e9)
+		a := net.AddNode(s, "a.s.edu")
+		b := net.AddNode(s, "b.s.edu")
+		completed := 0
+		var want float64
+		for _, sz := range sizes {
+			bytes := float64(sz) * 1000
+			want += bytes
+			net.StartFlow(a, b, bytes, func() { completed++ })
+		}
+		eng.Run()
+		if completed != len(sizes) {
+			return false
+		}
+		return math.Abs(net.Stats().BytesTotal-want) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: n equal flows through one NIC finish together at n times the
+// single-flow duration (equal sharing).
+func TestEqualShareProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%8 + 1
+		eng := sim.New(1)
+		net := New(eng, Config{NodeBps: 10e6, LANLatency: sim.Millisecond})
+		s := net.AddSite("s.edu", 1e9, 1e9)
+		src := net.AddNode(s, "src.s.edu")
+		var times []sim.Time
+		for i := 0; i < n; i++ {
+			dst := net.AddNode(s, "dst.s.edu")
+			net.StartFlow(src, dst, 10e6, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		want := sim.Seconds(float64(n)) + sim.Millisecond
+		for _, got := range times {
+			if got < want-10*sim.Millisecond || got > want+10*sim.Millisecond {
+				return false
+			}
+		}
+		return len(times) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

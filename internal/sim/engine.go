@@ -1,0 +1,204 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events. All
+// model code (network transfers, heartbeats, task executions, preemptions)
+// runs as callbacks scheduled on the engine; two runs with the same seed and
+// the same schedule of calls produce byte-identical results. Determinism is
+// what makes the paper's three-runs-per-point evaluation reproducible: each
+// "run" is just a different seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so ordering is insertion order, never map order.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Canceling an already
+// fired or already canceled timer is a no-op. Cancel is safe to call from
+// inside event callbacks.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs on the engine's loop.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine with its clock at zero and a deterministic random
+// source seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All stochastic model
+// decisions must draw from this source to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the number of events executed so far; useful as a progress
+// and complexity metric in benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a model bug, and silently reordering events would corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic("sim: Schedule in the past")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return &Timer{ev: ev}
+}
+
+// After runs fn d after the current time. Negative d panics via Schedule.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or Stop is
+// called. It returns the time of the last executed event.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped && e.heap[0].at <= deadline {
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile executes events while cond() holds and the queue is non-empty.
+// cond is evaluated before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped && cond() {
+		e.step()
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.heap).(*event)
+	if ev.canceled {
+		return
+	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+}
+
+// Every schedules fn to run every interval, starting interval from now, until
+// the returned Ticker is stopped. fn runs before the next tick is scheduled,
+// so fn may stop the ticker to prevent further ticks.
+type Ticker struct {
+	stopped bool
+	timer   *Timer
+}
+
+// Stop cancels all future ticks.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	tk.timer.Cancel()
+}
+
+// Every creates a Ticker invoking fn at the given period.
+func (e *Engine) Every(interval Time, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every with non-positive interval")
+	}
+	tk := &Ticker{}
+	var tick func()
+	tick = func() {
+		if tk.stopped {
+			return
+		}
+		fn()
+		if !tk.stopped {
+			tk.timer = e.After(interval, tick)
+		}
+	}
+	tk.timer = e.After(interval, tick)
+	return tk
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "fmt"
+
+// Time is a virtual timestamp measured in integer microseconds since the
+// start of the simulation. Integer arithmetic keeps event ordering exact and
+// runs deterministic across platforms.
+type Time int64
+
+// Duration units. A Duration and a Time share the same representation; the
+// engine only ever adds durations to timestamps, so a single type keeps the
+// arithmetic free of conversions.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Milliseconds converts a floating-point number of milliseconds to a Time.
+func Milliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }

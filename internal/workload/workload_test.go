@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hog/internal/sim"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	bins := Table1()
+	if len(bins) != 9 {
+		t.Fatalf("bins = %d, want 9", len(bins))
+	}
+	wantMaps := []int{1, 2, 10, 50, 100, 200, 400, 800, 4800}
+	wantJobs := []int{38, 16, 14, 8, 6, 6, 4, 4, 4}
+	wantPct := []float64{39, 16, 14, 9, 6, 6, 4, 4, 3}
+	total := 0
+	for i, b := range bins {
+		if b.Bin != i+1 {
+			t.Errorf("bin %d numbered %d", i, b.Bin)
+		}
+		if b.Maps != wantMaps[i] || b.Jobs != wantJobs[i] || b.PercentAtFacebook != wantPct[i] {
+			t.Errorf("bin %d = %+v, want maps=%d jobs=%d pct=%v", b.Bin, b, wantMaps[i], wantJobs[i], wantPct[i])
+		}
+		total += b.Jobs
+	}
+	if total != 100 {
+		t.Fatalf("Table I benchmark jobs = %d, want 100", total)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	bins := Table2()
+	if len(bins) != 6 {
+		t.Fatalf("bins = %d, want 6 (paper truncates to the first six)", len(bins))
+	}
+	wantReduces := []int{1, 1, 5, 10, 20, 30}
+	for i, b := range bins {
+		if b.Reduces != wantReduces[i] {
+			t.Errorf("bin %d reduces = %d, want %d", b.Bin, b.Reduces, wantReduces[i])
+		}
+		if b.Reduces > b.Maps {
+			t.Errorf("bin %d: reduces %d exceed maps %d", b.Bin, b.Reduces, b.Maps)
+		}
+	}
+	if TotalJobs(bins) != 88 {
+		t.Fatalf("truncated workload jobs = %d, want 88", TotalJobs(bins))
+	}
+	if TotalMaps(bins) != 38+32+140+400+600+1200 {
+		t.Fatalf("total maps = %d, want 2410", TotalMaps(bins))
+	}
+	// Reduces non-decreasing with maps, as the paper specifies.
+	for i := 1; i < len(bins); i++ {
+		if bins[i].Reduces < bins[i-1].Reduces {
+			t.Fatalf("reduce counts not non-decreasing: %v", bins)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	s := Generate(1, Config{})
+	if len(s.Jobs) != 88 {
+		t.Fatalf("jobs = %d, want 88", len(s.Jobs))
+	}
+	// ~21 minute span: mean gap 14 s * 87 gaps = 1218 s expected; allow
+	// wide stochastic tolerance.
+	span := s.Span().Seconds()
+	if span < 600 || span > 2500 {
+		t.Fatalf("span = %.0fs, want about 1218s", span)
+	}
+	// Submissions sorted, first at zero.
+	if s.Jobs[0].Submit != 0 {
+		t.Fatal("first submission not at t=0")
+	}
+	for i := 1; i < len(s.Jobs); i++ {
+		if s.Jobs[i].Submit < s.Jobs[i-1].Submit {
+			t.Fatal("submissions out of order")
+		}
+	}
+	// Input sizing: one 64 MB block per map.
+	for _, j := range s.Jobs {
+		if j.InputBytes != float64(j.Maps)*64e6 {
+			t.Fatalf("job %s input %.0f, want %d blocks", j.Name, j.InputBytes, j.Maps)
+		}
+	}
+}
+
+func TestGenerateBinCounts(t *testing.T) {
+	s := Generate(7, Config{})
+	count := map[int]int{}
+	for _, j := range s.Jobs {
+		count[j.Bin]++
+	}
+	want := map[int]int{1: 38, 2: 16, 3: 14, 4: 8, 5: 6, 6: 6}
+	for b, n := range want {
+		if count[b] != n {
+			t.Fatalf("bin %d count = %d, want %d", b, count[b], n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, Config{})
+	b := Generate(42, Config{})
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+	c := Generate(43, Config{})
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i] != c.Jobs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical schedules")
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	s := Generate(1, Config{Scale: 0.25})
+	// Each bin keeps at least one job.
+	count := map[int]int{}
+	for _, j := range s.Jobs {
+		count[j.Bin]++
+	}
+	for b := 1; b <= 6; b++ {
+		if count[b] < 1 {
+			t.Fatalf("scaled schedule lost bin %d", b)
+		}
+	}
+	if len(s.Jobs) >= 88 {
+		t.Fatalf("scale 0.25 produced %d jobs", len(s.Jobs))
+	}
+}
+
+func TestSummarizeByBin(t *testing.T) {
+	bins := []int{1, 1, 2}
+	resp := []sim.Time{10 * sim.Second, 20 * sim.Second, 30 * sim.Second}
+	sum := SummarizeByBin(bins, resp)
+	if len(sum) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sum))
+	}
+	if sum[0].Bin != 1 || sum[0].Jobs != 2 || sum[0].MeanResp != 15*sim.Second || sum[0].WorstResp != 20*sim.Second {
+		t.Fatalf("bin1 summary = %+v", sum[0])
+	}
+	if sum[1].MeanResp != 30*sim.Second {
+		t.Fatalf("bin2 summary = %+v", sum[1])
+	}
+}
+
+func TestSummarizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	SummarizeByBin([]int{1}, nil)
+}
+
+// Property: generated schedules preserve per-bin map/reduce shape for any
+// seed, and the empirical mean gap approximates the configured mean.
+func TestScheduleShapeProperty(t *testing.T) {
+	shape := map[int][2]int{}
+	for _, b := range Table2() {
+		shape[b.Bin] = [2]int{b.Maps, b.Reduces}
+	}
+	f := func(seed int64) bool {
+		s := Generate(seed, Config{})
+		for _, j := range s.Jobs {
+			w := shape[j.Bin]
+			if j.Maps != w[0] || j.Reduces != w[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanInterarrival(t *testing.T) {
+	// Average over many seeds: mean gap should be near 14 s.
+	var total float64
+	const n = 50
+	for seed := int64(0); seed < n; seed++ {
+		s := Generate(seed, Config{})
+		total += s.Span().Seconds() / float64(len(s.Jobs)-1)
+	}
+	mean := total / n
+	if mean < 12.5 || mean > 15.5 {
+		t.Fatalf("empirical mean gap %.2fs, want ~14s", mean)
+	}
+}
