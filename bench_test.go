@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"hog/internal/experiments"
+	"hog/internal/netmodel"
+	"hog/internal/sim"
 	"hog/internal/workload"
 )
 
@@ -28,6 +30,89 @@ func benchOpts() experiments.Options {
 		Seeds: []int64{1},
 		Nodes: []int{40, 55, 99, 100, 180},
 	}
+}
+
+// netRebalanceRun drives a 1000-node, 10-site network through a churn-heavy
+// flow schedule: thousands of overlapping transfers starting, sharing links
+// and finishing, which is exactly the event pattern that made the global
+// rebalancer the experiment bottleneck. Returns completions as a cheap
+// self-check.
+func netRebalanceRun(global bool) int {
+	const (
+		nSites       = 10
+		nodesPerSite = 100
+		nFlows       = 8000
+	)
+	eng := sim.New(1)
+	net := netmodel.New(eng, netmodel.Config{GlobalRebalance: global})
+	for s := 0; s < nSites; s++ {
+		site := net.AddSite("site", 300e6, 300e6)
+		for i := 0; i < nodesPerSite; i++ {
+			net.AddNode(site, "wn")
+		}
+	}
+	completed := 0
+	// Traffic mix mirrors a HOG run: mostly site-local block reads and
+	// node-local disk I/O, with a cross-site minority (shuffle, replication)
+	// contending on the WAN uplinks.
+	for i := 0; i < nFlows; i++ {
+		site := (i * 7) % nSites
+		src := netmodel.NodeID(site*nodesPerSite + (i*613)%nodesPerSite)
+		var dst netmodel.NodeID
+		if i%10 < 7 { // site-local transfer (block reads, pipeline hops)
+			dst = netmodel.NodeID(site*nodesPerSite + (i*389+17)%nodesPerSite)
+			if dst == src {
+				dst = netmodel.NodeID(site*nodesPerSite + (int(src)+1)%nodesPerSite)
+			}
+		} else { // cross-site transfer (shuffle, re-replication)
+			far := (site + 1 + i%(nSites-1)) % nSites
+			dst = netmodel.NodeID(far*nodesPerSite + (i*389+17)%nodesPerSite)
+		}
+		bytes := float64(1+(i%50)) * 4e6
+		start := sim.Time(i%500) * 10 * sim.Millisecond
+		i := i
+		eng.Schedule(start, func() {
+			net.StartFlow(src, dst, bytes, func() { completed++ })
+			if i%2 == 0 {
+				net.StartDiskIO(src, bytes/2, nil)
+			}
+		})
+	}
+	eng.Run()
+	return completed
+}
+
+// BenchmarkNetRebalance compares the link-scoped incremental rebalancer
+// (the default) against the rebalance-everything baseline at 1000 nodes.
+// The acceptance bar for this PR is incremental <= global/5 ns/op.
+func BenchmarkNetRebalance(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		global bool
+	}{{"incremental", false}, {"global", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := netRebalanceRun(mode.global); got != 8000 {
+					b.Fatalf("completed %d flows, want 8000", got)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLargeGrid runs the Facebook workload end to end on the ~1000-node
+// twelve-site preset: the scale the incremental rebalancer was built to open.
+func BenchmarkLargeGrid(b *testing.B) {
+	var r experiments.LargeGridResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.LargeGrid(experiments.Options{Scale: 0.25, Seeds: []int64{1}})
+	}
+	if r.JobsFailed != 0 {
+		b.Fatalf("%d jobs failed on the stable large grid", r.JobsFailed)
+	}
+	b.ReportMetric(r.Response.Seconds(), "response-s")
+	b.ReportMetric(float64(r.EventsFired), "events")
+	b.ReportMetric(100*r.CrossSiteFrac, "cross-site-%")
 }
 
 // BenchmarkTable1FacebookBins regenerates Table I: the Facebook bin

@@ -48,6 +48,7 @@ func main() {
 		{"ncopy", "A-NCOPY: redundant task copies", func(o experiments.Options) { experiments.PrintRedundantCopies(out, o) }},
 		{"delay", "A-DELAY: FIFO vs delay scheduling", func(o experiments.Options) { experiments.PrintDelayScheduling(out, o) }},
 		{"hod", "A-HOD: Hadoop On Demand baseline", func(o experiments.Options) { experiments.PrintHODComparison(out, o) }},
+		{"grid", "LARGE-GRID: ~1000 nodes across 12 sites", func(o experiments.Options) { experiments.PrintLargeGrid(out, o) }},
 	}
 
 	if *list {

@@ -1,0 +1,3 @@
+module hog
+
+go 1.21

@@ -157,6 +157,18 @@ func HOGConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Config {
 	}
 }
 
+// LargeGridConfig returns the HOG configuration on the twelve-site
+// LargeGridSites preset, for scale-out runs around 1000 nodes (the ROADMAP's
+// beyond-the-paper scenarios). Everything except the site list matches
+// HOGConfig; the provisioning bound is widened because filling a
+// thousand-slot pool takes longer than filling 180 slots.
+func LargeGridConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Config {
+	c := HOGConfig(targetNodes, churn, seed)
+	c.Grid.Sites = grid.LargeGridSites(churn)
+	c.Grid.ProvisionBound = 8 * sim.Hour
+	return c
+}
+
 // DedicatedClusterConfig returns the Table III comparison cluster: one
 // master (implicit, the stable server), 20 slave nodes with 4 map + 1 reduce
 // slots and 10 with 2 map + 1 reduce slots, 1 Gbps Ethernet, one rack,

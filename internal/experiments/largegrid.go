@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// LargeGridResult is one scale-out run on the twelve-site ~1000-node grid.
+type LargeGridResult struct {
+	Target        int
+	Sites         int
+	Response      sim.Time
+	EventsFired   uint64
+	FlowsStarted  int
+	CrossSiteFrac float64 // fraction of network bytes that crossed a WAN link
+	JobsFailed    int
+}
+
+// LargeGrid runs the Facebook workload on a ~1000-node pool spread over the
+// LargeGridSites preset. The paper stops at 180 nodes; this experiment is
+// the ROADMAP's beyond-the-paper scale point and the end-to-end stress for
+// the incremental flow rebalancer (thousands of concurrent flows sharing
+// twelve WAN uplinks).
+func LargeGrid(opts Options) LargeGridResult {
+	opts = opts.withDefaults()
+	target := 1000
+	sys := core.New(core.LargeGridConfig(target, grid.ChurnStable, opts.Seeds[0]))
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	out := LargeGridResult{
+		Target:       target,
+		Sites:        sys.Net.NumSites(),
+		Response:     res.ResponseTime,
+		EventsFired:  sys.Eng.Fired(),
+		FlowsStarted: res.Net.FlowsStarted,
+		JobsFailed:   res.JobsFailed,
+	}
+	if res.Net.BytesTotal > 0 {
+		out.CrossSiteFrac = res.Net.BytesCrossSite / res.Net.BytesTotal
+	}
+	return out
+}
+
+// PrintLargeGrid prints the scale-out run.
+func PrintLargeGrid(w io.Writer, opts Options) {
+	r := LargeGrid(opts)
+	fmt.Fprintln(w, "LARGE-GRID: Facebook workload at ~1000 nodes, 12 sites")
+	fmt.Fprintf(w, "target=%d nodes over %d sites\n", r.Target, r.Sites)
+	fmt.Fprintf(w, "workload response: %.0f s  (jobs failed: %d)\n", r.Response.Seconds(), r.JobsFailed)
+	fmt.Fprintf(w, "simulation: %d events fired, %d flows, %.0f%% of bytes cross-site\n",
+		r.EventsFired, r.FlowsStarted, 100*r.CrossSiteFrac)
+}

@@ -38,18 +38,47 @@ func OSGSites(profile ChurnProfile) []SiteConfig {
 	for i := range sites {
 		sites[i].UplinkBps = 300e6 // ~2.4 Gbps WAN uplink per site
 		sites[i].DownlinkBps = 300e6
-		switch profile {
-		case ChurnStable:
-			sites[i].NodeLifetime = sim.Exponential{M: 14 * sim.Hour}
-			sites[i].BatchPreemptEvery = sim.Exponential{M: 3 * sim.Hour}
-			sites[i].BatchPreemptFrac = 0.04
-		case ChurnUnstable:
-			sites[i].NodeLifetime = sim.Exponential{M: 90 * sim.Minute}
-			sites[i].BatchPreemptEvery = sim.Exponential{M: 25 * sim.Minute}
-			sites[i].BatchPreemptFrac = 0.18
-		}
+		applyChurn(&sites[i], profile)
 	}
 	return sites
+}
+
+// applyChurn fills a site's preemption distributions for the profile.
+func applyChurn(s *SiteConfig, profile ChurnProfile) {
+	switch profile {
+	case ChurnStable:
+		s.NodeLifetime = sim.Exponential{M: 14 * sim.Hour}
+		s.BatchPreemptEvery = sim.Exponential{M: 3 * sim.Hour}
+		s.BatchPreemptFrac = 0.04
+	case ChurnUnstable:
+		s.NodeLifetime = sim.Exponential{M: 90 * sim.Minute}
+		s.BatchPreemptEvery = sim.Exponential{M: 25 * sim.Minute}
+		s.BatchPreemptFrac = 0.18
+	}
+}
+
+// LargeGridSites returns a synthetic twelve-site, ~1300-slot grid for
+// scale-out runs far beyond the paper's 180 nodes: the five OSG sites from
+// Listing 1 plus seven more opportunistic pools patterned on large OSG
+// resource providers. Uplinks stay at the OSG preset's 2.4 Gbps, so WAN
+// contention grows with the pool exactly as the fluid-flow model predicts.
+func LargeGridSites(profile ChurnProfile) []SiteConfig {
+	sites := OSGSites(profile)
+	extra := []SiteConfig{
+		{Name: "BNL_ATLAS", Domain: "bnl.gov", Capacity: 180},
+		{Name: "SLAC_OSG", Domain: "slac.stanford.edu", Capacity: 160},
+		{Name: "PURDUE_RCAC", Domain: "purdue.edu", Capacity: 140},
+		{Name: "NEBRASKA_HCC", Domain: "unl.edu", Capacity: 120},
+		{Name: "WISC_CHTC", Domain: "wisc.edu", Capacity: 110},
+		{Name: "TTU_ANTAEUS", Domain: "ttu.edu", Capacity: 90},
+		{Name: "UFL_HPC", Domain: "ufl.edu", Capacity: 80},
+	}
+	for i := range extra {
+		extra[i].UplinkBps = 300e6
+		extra[i].DownlinkBps = 300e6
+		applyChurn(&extra[i], profile)
+	}
+	return append(sites, extra...)
 }
 
 // DefaultPoolConfig returns HOG's worker configuration: one map and one

@@ -271,10 +271,17 @@ func (nn *Namenode) UnderReplicated() int { return len(nn.replQueued) }
 
 func (nn *Namenode) checkDead() {
 	now := nn.eng.Now()
+	// Sort the victims: markDead queues replication work and draws from the
+	// engine RNG, so processing order must not depend on map iteration.
+	var doomed []*DatanodeInfo
 	for _, d := range nn.datanodes {
 		if d.Alive && now-d.LastHeartbeat > nn.cfg.DeadTimeout {
-			nn.markDead(d)
+			doomed = append(doomed, d)
 		}
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].ID < doomed[j].ID })
+	for _, d := range doomed {
+		nn.markDead(d)
 	}
 }
 

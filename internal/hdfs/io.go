@@ -166,16 +166,23 @@ func (nn *Namenode) WriteFile(writer netmodel.NodeID, name string, size float64,
 				}
 			}
 		}
+		// Batch the hop starts: only the writer-local disk hop joins the
+		// network synchronously (network hops join after their propagation
+		// latency, in their own events), so today this coalesces that one
+		// join with the start bookkeeping — and keeps the pipeline start at
+		// one rebalance if zero-latency hops are ever added.
 		prev := writer
-		for _, tid := range pipeline {
-			remainingHops++
-			if prev == tid {
-				nn.net.StartDiskIO(tid, b.Size, hopDone(tid))
-			} else {
-				nn.net.StartFlow(prev, tid, b.Size, hopDone(tid))
+		nn.net.Batch(func() {
+			for _, tid := range pipeline {
+				remainingHops++
+				if prev == tid {
+					nn.net.StartDiskIO(tid, b.Size, hopDone(tid))
+				} else {
+					nn.net.StartFlow(prev, tid, b.Size, hopDone(tid))
+				}
+				prev = tid
 			}
-			prev = tid
-		}
+		})
 	}
 	writeBlock(0)
 }

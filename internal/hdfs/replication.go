@@ -128,7 +128,17 @@ func (nn *Namenode) cancelStreamsTouching(id netmodel.NodeID) {
 			doomed = append(doomed, st)
 		}
 	}
-	sort.Slice(doomed, func(i, j int) bool { return doomed[i].bid < doomed[j].bid })
+	sort.Slice(doomed, func(i, j int) bool {
+		// A block can have several in-flight streams; break bid ties on the
+		// endpoints so cancellation order never depends on map iteration.
+		if doomed[i].bid != doomed[j].bid {
+			return doomed[i].bid < doomed[j].bid
+		}
+		if doomed[i].dst != doomed[j].dst {
+			return doomed[i].dst < doomed[j].dst
+		}
+		return doomed[i].src < doomed[j].src
+	})
 	for _, st := range doomed {
 		st.flow.Cancel()
 		delete(nn.streams, st)

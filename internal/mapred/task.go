@@ -507,8 +507,13 @@ func (a *attempt) offerFetch(mapIdx int) {
 }
 
 // pumpFetches starts fetches up to the configured parallelism (Hadoop's
-// mapred.reduce.parallel.copies).
+// mapred.reduce.parallel.copies). The wave is batched so the local-disk
+// fetches it launches trigger one rate rebalance, not one per flow.
 func (a *attempt) pumpFetches() {
+	a.jt.net.Batch(a.pumpFetchWave)
+}
+
+func (a *attempt) pumpFetchWave() {
 	for a.inFlight < a.jt.cfg.ParallelCopies && len(a.fetchQueued) > 0 {
 		mapIdx := a.fetchQueued[0]
 		a.fetchQueued = a.fetchQueued[1:]

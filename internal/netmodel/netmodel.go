@@ -11,14 +11,35 @@
 //
 // Every active transfer is a fluid flow whose instantaneous rate is the
 // minimum equal share across the links it crosses. Whenever a flow starts or
-// finishes, remaining bytes of affected flows are settled at the old rates
-// and new rates are computed; completions are re-scheduled on the simulation
-// engine. This is the classic progressive-sharing approximation used by grid
-// and datacenter simulators.
+// finishes, affected flows are settled at their old rates, new rates are
+// computed, and completions are re-scheduled on the simulation engine. This
+// is the classic progressive-sharing approximation used by grid and
+// datacenter simulators.
+//
+// # Incremental rebalancing
+//
+// A flow's rate is the minimum of capacity/population over its own links, so
+// a join or leave can only change the rates of flows that share one of the
+// links whose population changed. The network therefore keeps a per-link
+// registry of active flows: each join/leave marks its links dirty, and
+// rebalance() recomputes rates only for the flows on dirty links — O(affected)
+// instead of O(all flows) per event. Untouched flows settle lazily: their
+// rate is constant between the rebalances that touch them, so remaining
+// bytes are materialised only when the rate actually changes (or on demand
+// via Remaining()). Because both the incremental and the global path settle
+// at exactly the rate-change instants, they produce bit-identical completion
+// times; Config.GlobalRebalance selects the global path for equivalence
+// tests and benchmark baselines.
+//
+// Determinism: affected flows are processed in creation-sequence order, and
+// timer rescheduling draws fresh engine tie-breaking sequence numbers, so
+// same-instant completions fire in a stable order — never map order.
 package netmodel
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"hog/internal/sim"
 )
@@ -42,6 +63,11 @@ type Config struct {
 	// LANLatency and WANLatency are one-way propagation delays added to the
 	// start of each flow.
 	LANLatency, WANLatency sim.Time
+	// GlobalRebalance selects the O(flows) rebalance-everything path instead
+	// of the default link-scoped incremental one. Both produce identical
+	// results; the global path exists as an equivalence and benchmark
+	// baseline.
+	GlobalRebalance bool
 }
 
 // DefaultConfig returns the constants used throughout the evaluation:
@@ -78,16 +104,43 @@ func (c Config) withDefaults() Config {
 }
 
 // link is a shared resource: NIC direction, site uplink/downlink, or disk.
+// It keeps a registry of the active flows crossing it so a population change
+// can find exactly the flows whose rate may have moved, and caches its
+// equal-share value so the rebalance filter pass is divisions-free.
 type link struct {
-	capacity float64
-	active   int
+	capacity  float64
+	shareVal  float64 // capacity / max(1, len(flows)), kept current
+	prevShare float64 // shareVal when the link was first dirtied
+	flows     []*Flow
+	dirty     bool
 }
 
-func (l *link) share() float64 {
-	if l.active <= 0 {
-		return l.capacity
+func (l *link) share() float64 { return l.shareVal }
+
+func (l *link) reshare() {
+	if len(l.flows) == 0 {
+		l.shareVal = l.capacity
+	} else {
+		l.shareVal = l.capacity / float64(len(l.flows))
 	}
-	return l.capacity / float64(l.active)
+}
+
+func (l *link) attach(f *Flow) {
+	l.flows = append(l.flows, f)
+	l.reshare()
+}
+
+func (l *link) detach(f *Flow) {
+	for i, g := range l.flows {
+		if g == f {
+			last := len(l.flows) - 1
+			l.flows[i] = l.flows[last]
+			l.flows[last] = nil
+			l.flows = l.flows[:last]
+			l.reshare()
+			return
+		}
+	}
 }
 
 type nodeState struct {
@@ -118,20 +171,29 @@ type Stats struct {
 // Network is the simulated fabric. It is driven entirely by the sim engine
 // and is not safe for concurrent use.
 type Network struct {
-	eng   *sim.Engine
-	cfg   Config
-	nodes []*nodeState
-	sites []*siteState
-	flows map[*Flow]struct{}
-	stats Stats
+	eng     *sim.Engine
+	cfg     Config
+	nodes   []*nodeState
+	sites   []*siteState
+	stats   Stats
+	nActive int
+
+	flowSeq  uint64  // creation-order stamp for deterministic iteration
+	dirty    []*link // links whose population changed since the last rebalance
+	affected []*Flow // scratch: flows touched by the current rebalance
+	epoch    uint64  // rebalance generation, for affected-set dedupe
+	batching int     // >0 while Batch() defers rebalancing
+
+	// order holds all active flows sorted by creation seq; maintained only
+	// in global-rebalance mode, where every event walks every flow.
+	order []*Flow
 }
 
 // New creates an empty network on eng.
 func New(eng *sim.Engine, cfg Config) *Network {
 	return &Network{
-		eng:   eng,
-		cfg:   cfg.withDefaults(),
-		flows: make(map[*Flow]struct{}),
+		eng: eng,
+		cfg: cfg.withDefaults(),
 	}
 }
 
@@ -140,8 +202,8 @@ func New(eng *sim.Engine, cfg Config) *Network {
 func (n *Network) AddSite(name string, uplinkBps, downlinkBps float64) SiteID {
 	n.sites = append(n.sites, &siteState{
 		name: name,
-		up:   link{capacity: uplinkBps},
-		down: link{capacity: downlinkBps},
+		up:   link{capacity: uplinkBps, shareVal: uplinkBps},
+		down: link{capacity: downlinkBps, shareVal: downlinkBps},
 	})
 	return SiteID(len(n.sites) - 1)
 }
@@ -154,9 +216,9 @@ func (n *Network) AddNode(site SiteID, hostname string) NodeID {
 	}
 	n.nodes = append(n.nodes, &nodeState{
 		site:     site,
-		up:       link{capacity: n.cfg.NodeBps},
-		down:     link{capacity: n.cfg.NodeBps},
-		disk:     link{capacity: n.cfg.DiskBps},
+		up:       link{capacity: n.cfg.NodeBps, shareVal: n.cfg.NodeBps},
+		down:     link{capacity: n.cfg.NodeBps, shareVal: n.cfg.NodeBps},
+		disk:     link{capacity: n.cfg.DiskBps, shareVal: n.cfg.DiskBps},
 		hostname: hostname,
 	})
 	return NodeID(len(n.nodes) - 1)
@@ -184,13 +246,34 @@ func (n *Network) SameSite(a, b NodeID) bool { return n.nodes[a].site == n.nodes
 func (n *Network) Stats() Stats { return n.stats }
 
 // ActiveFlows returns the number of in-flight flows (network and disk).
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return n.nActive }
+
+// Batch runs fn with rate rebalancing deferred: flows started, canceled or
+// completed synchronously inside fn trigger a single rebalance when the
+// outermost Batch returns, instead of one per call. Starting k same-instant
+// disk I/Os (an HDFS write pipeline, a reduce shuffle wave) this way costs
+// one rate recomputation rather than k. Batching is transparent to results:
+// same-instant settlements are no-ops and affected flows are re-timed in
+// creation order either way.
+func (n *Network) Batch(fn func()) {
+	n.batching++
+	defer func() {
+		n.batching--
+		if n.batching == 0 {
+			n.rebalance()
+		}
+	}()
+	fn()
+}
 
 // Flow is an in-flight transfer. It is created by StartFlow or StartDiskIO
 // and owned by the network until completion or cancellation.
 type Flow struct {
 	net        *Network
 	links      []*link
+	seq        uint64
+	mark       uint64  // last rebalance epoch this flow was collected in
+	newRate    float64 // scratch: pass-1 rate awaiting pass-2 application
 	remaining  float64
 	rate       float64
 	lastSettle sim.Time
@@ -215,11 +298,13 @@ func (n *Network) StartFlow(src, dst NodeID, bytes float64, done func()) *Flow {
 	ns, nd := n.nodes[src], n.nodes[dst]
 	f := &Flow{
 		net:       n,
+		seq:       n.flowSeq,
 		remaining: bytes,
 		bytes:     bytes,
 		done:      done,
 		capBps:    n.cfg.NodeBps,
 	}
+	n.flowSeq++
 	latency := n.cfg.LANLatency
 	f.links = append(f.links, &ns.up, &nd.down)
 	if ns.site != nd.site {
@@ -239,12 +324,14 @@ func (n *Network) StartFlow(src, dst NodeID, bytes float64, done func()) *Flow {
 func (n *Network) StartDiskIO(node NodeID, bytes float64, done func()) *Flow {
 	f := &Flow{
 		net:       n,
+		seq:       n.flowSeq,
 		remaining: bytes,
 		bytes:     bytes,
 		done:      done,
 		capBps:    n.cfg.DiskBps,
 		diskIO:    true,
 	}
+	n.flowSeq++
 	f.links = append(f.links, &n.nodes[node].disk)
 	n.admit(f, 0)
 	return f
@@ -252,9 +339,14 @@ func (n *Network) StartDiskIO(node NodeID, bytes float64, done func()) *Flow {
 
 func (n *Network) admit(f *Flow, latency sim.Time) {
 	if f.remaining <= 0 {
-		// Zero-byte transfers complete after the propagation latency.
-		f.finished = true
-		n.eng.After(latency, func() {
+		// Zero-byte transfers complete after the propagation latency. The
+		// flow stays cancelable until then: Cancel stops the timer and
+		// suppresses done.
+		f.timer = n.eng.After(latency, func() {
+			if f.finished {
+				return
+			}
+			f.finished = true
 			if f.done != nil {
 				f.done()
 			}
@@ -265,16 +357,20 @@ func (n *Network) admit(f *Flow, latency sim.Time) {
 		if f.finished {
 			return
 		}
-		n.flows[f] = struct{}{}
+		n.nActive++
 		for _, l := range f.links {
-			l.active++
+			n.markDirty(l)
+			l.attach(f)
 		}
 		f.active = true
 		f.lastSettle = n.eng.Now()
+		if n.cfg.GlobalRebalance {
+			n.orderInsert(f)
+		}
 		n.rebalance()
 	}
 	if latency > 0 {
-		n.eng.After(latency, join)
+		f.timer = n.eng.After(latency, join)
 	} else {
 		join()
 	}
@@ -290,11 +386,11 @@ func (f *Flow) Cancel() {
 	if f.timer != nil {
 		f.timer.Cancel()
 	}
+	if !f.diskIO {
+		f.net.stats.FlowsCanceled++
+	}
 	if f.active {
 		f.net.leave(f)
-		if !f.diskIO {
-			f.net.stats.FlowsCanceled++
-		}
 		f.net.rebalance()
 	}
 }
@@ -317,50 +413,167 @@ func (f *Flow) Remaining() float64 {
 }
 
 func (n *Network) leave(f *Flow) {
-	delete(n.flows, f)
+	n.nActive--
 	for _, l := range f.links {
-		l.active--
+		n.markDirty(l)
+		l.detach(f)
 	}
 	f.active = false
+	if n.cfg.GlobalRebalance {
+		n.orderRemove(f)
+	}
 }
 
-// rebalance settles every active flow at its old rate, recomputes rates from
-// the current link populations, and reschedules completion events.
+// markDirty records a link whose population is about to change. Callers
+// invoke it before attach/detach so prevShare captures the share the link's
+// flows were last balanced against.
+func (n *Network) markDirty(l *link) {
+	if !l.dirty {
+		l.dirty = true
+		l.prevShare = l.shareVal
+		n.dirty = append(n.dirty, l)
+	}
+}
+
+// orderInsert keeps the global-mode flow list sorted by creation seq (flows
+// can join out of creation order: WAN latency exceeds LAN latency).
+func (n *Network) orderInsert(f *Flow) {
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i].seq >= f.seq })
+	n.order = append(n.order, nil)
+	copy(n.order[i+1:], n.order[i:])
+	n.order[i] = f
+}
+
+func (n *Network) orderRemove(f *Flow) {
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i].seq >= f.seq })
+	if i < len(n.order) && n.order[i] == f {
+		n.order = append(n.order[:i], n.order[i+1:]...)
+	}
+}
+
+// rebalance recomputes rates for every flow whose rate may have changed and
+// reschedules their completion events. In incremental mode that is the flows
+// registered on dirty links; in global mode it is every active flow (skips
+// are cheap: an unchanged rate with a live timer needs no settling). Flows
+// are processed in creation order in both modes so same-instant completions
+// acquire identical tie-breaking sequence numbers.
 func (n *Network) rebalance() {
+	if n.batching > 0 {
+		return
+	}
 	now := n.eng.Now()
-	for f := range n.flows {
-		dt := (now - f.lastSettle).Seconds()
-		if dt > 0 {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
+	if n.cfg.GlobalRebalance {
+		for _, l := range n.dirty {
+			l.dirty = false
+		}
+		n.dirty = n.dirty[:0]
+		for _, f := range n.order {
+			n.recompute(f, now)
+		}
+		return
+	}
+	if len(n.dirty) == 0 {
+		return
+	}
+	// Pass 1, unordered: scan the dirty links' registries and keep only the
+	// flows whose equal-share rate actually moved. Skipped flows have no
+	// side effects, so ordering only matters for the survivors — sorting
+	// the (usually much smaller) changed set is the hot-path saving.
+	n.epoch++
+	changed := n.affected[:0]
+	for _, l := range n.dirty {
+		l.dirty = false
+		share := l.shareVal
+		prev := l.prevShare
+		for _, f := range l.flows {
+			if f.mark == n.epoch {
+				continue
 			}
-			f.lastSettle = now
-		}
-		rate := f.capBps
-		for _, l := range f.links {
-			if s := l.share(); s < rate {
-				rate = s
+			// Per-link fast reject: this link cannot have moved f's rate if
+			// its share did not drop below the rate (no new bottleneck) and
+			// was not the old bottleneck (f.rate < prev). Fresh or stalled
+			// flows (rate 0) always take the slow path so they get timed.
+			if share >= f.rate && f.rate < prev && f.rate > 0 {
+				continue
+			}
+			f.mark = n.epoch
+			rate := n.flowRate(f)
+			if rate != f.rate || (rate > 0 && !f.timer.Active()) {
+				f.newRate = rate
+				changed = append(changed, f)
 			}
 		}
-		if rate == f.rate && f.timer != nil && f.timer.Active() {
-			continue
+	}
+	n.dirty = n.dirty[:0]
+	// Pass 2, creation order: settle and re-time. Fresh tie-breaking seqs
+	// are drawn in the same order the global path would draw them.
+	slices.SortFunc(changed, func(a, b *Flow) int {
+		if a.seq < b.seq {
+			return -1
 		}
-		f.rate = rate
+		return 1
+	})
+	for _, f := range changed {
+		n.applyRate(f, now, f.newRate)
+	}
+	for i := range changed {
+		changed[i] = nil
+	}
+	n.affected = changed[:0]
+}
+
+// flowRate returns the flow's current equal-share rate: the minimum share
+// across its links, capped per flow.
+func (n *Network) flowRate(f *Flow) float64 {
+	rate := f.capBps
+	for _, l := range f.links {
+		if s := l.share(); s < rate {
+			rate = s
+		}
+	}
+	return rate
+}
+
+// recompute settles f at its old rate and re-times its completion if the
+// equal-share rate moved (the global path; the incremental path splits the
+// rate computation into pass 1 and calls applyRate directly).
+func (n *Network) recompute(f *Flow, now sim.Time) {
+	rate := n.flowRate(f)
+	if rate == f.rate && (rate <= 0 || f.timer.Active()) {
+		return
+	}
+	n.applyRate(f, now, rate)
+}
+
+// applyRate settles f at its old rate, installs the new rate, and re-times
+// the completion. Settling happens only at rate changes, never in between,
+// so incremental and global rebalancing accumulate byte-identical remaining
+// values.
+func (n *Network) applyRate(f *Flow, now sim.Time, rate float64) {
+	if dt := (now - f.lastSettle).Seconds(); dt > 0 {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastSettle = now
+	f.rate = rate
+	if rate <= 0 {
 		if f.timer != nil {
 			f.timer.Cancel()
-		}
-		if rate <= 0 {
 			f.timer = nil
-			continue
 		}
-		remain := f.remaining
-		fin := sim.Seconds(remain / rate)
-		if fin < 0 {
-			fin = 0
-		}
+		return
+	}
+	fin := sim.Seconds(f.remaining / rate)
+	if fin < 0 {
+		fin = 0
+	}
+	if f.timer.Active() {
+		f.timer.Reschedule(now + fin)
+	} else {
 		ff := f
-		f.timer = n.eng.After(fin, func() { n.complete(ff) })
+		f.timer = n.eng.Schedule(now+fin, func() { n.complete(ff) })
 	}
 }
 

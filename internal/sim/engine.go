@@ -15,29 +15,65 @@ import (
 
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant so ordering is insertion order, never map order.
+// Events are pooled: gen is bumped on every recycle so stale Timer handles
+// from a previous use of the same event cannot observe or mutate it.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped
+	gen      uint64
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be canceled or moved.
+type Timer struct {
+	e   *Engine
+	ev  *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original scheduling
+// (the pooled event has not been recycled for another callback).
+func (t *Timer) live() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen
+}
 
 // Cancel prevents the timer's callback from running. Canceling an already
 // fired or already canceled timer is a no-op. Cancel is safe to call from
 // inside event callbacks.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+	if !t.live() || t.ev.canceled {
+		return
+	}
+	t.ev.canceled = true
+	if t.ev.index >= 0 {
+		t.e.pending--
 	}
 }
 
 // Active reports whether the timer is still pending.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+	return t.live() && !t.ev.canceled && t.ev.index >= 0
+}
+
+// Reschedule moves a pending timer to absolute time at, adjusting the event
+// heap in place (no tombstone is left behind, unlike Cancel + re-Schedule).
+// The timer is given a fresh tie-breaking sequence number, so rescheduling
+// to an instant shared with other events behaves exactly like canceling and
+// scheduling anew. Rescheduling into the past or rescheduling a fired or
+// canceled timer panics: both are model bugs.
+func (t *Timer) Reschedule(at Time) {
+	if !t.Active() {
+		panic("sim: Reschedule of inactive timer")
+	}
+	if at < t.e.now {
+		panic("sim: Reschedule in the past")
+	}
+	t.ev.at = at
+	t.ev.seq = t.e.seq
+	t.e.seq++
+	heap.Fix(&t.e.heap, t.ev.index)
 }
 
 type eventHeap []*event
@@ -78,6 +114,8 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	pending int      // live count of scheduled, non-canceled events
+	free    []*event // recycled events awaiting reuse
 }
 
 // New returns an engine with its clock at zero and a deterministic random
@@ -93,20 +131,33 @@ func (e *Engine) Now() Time { return e.now }
 // decisions must draw from this source to keep runs reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Pending returns the number of scheduled (non-canceled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (non-canceled) events. It is O(1):
+// the engine keeps a live counter instead of scanning the heap.
+func (e *Engine) Pending() int { return e.pending }
 
 // Fired returns the number of events executed so far; useful as a progress
 // and complexity metric in benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// alloc takes an event from the free list, or allocates one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list. Bumping gen invalidates
+// every outstanding Timer handle to this scheduling.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: it is
 // always a model bug, and silently reordering events would corrupt causality.
@@ -114,10 +165,14 @@ func (e *Engine) Schedule(at Time, fn func()) *Timer {
 	if at < e.now {
 		panic("sim: Schedule in the past")
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
 	heap.Push(&e.heap, ev)
-	return &Timer{ev: ev}
+	e.pending++
+	return &Timer{e: e, ev: ev, gen: ev.gen}
 }
 
 // After runs fn d after the current time. Negative d panics via Schedule.
@@ -162,11 +217,15 @@ func (e *Engine) RunWhile(cond func() bool) {
 func (e *Engine) step() {
 	ev := heap.Pop(&e.heap).(*event)
 	if ev.canceled {
+		e.recycle(ev)
 		return
 	}
+	e.pending--
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 }
 
 // Every schedules fn to run every interval, starting interval from now, until

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRescheduleMovesEarlierAndLater(t *testing.T) {
+	e := New(1)
+	var order []string
+	a := e.Schedule(10, func() { order = append(order, "a") })
+	e.Schedule(20, func() { order = append(order, "b") })
+	c := e.Schedule(30, func() { order = append(order, "c") })
+	a.Reschedule(25) // later: now between b and c
+	c.Reschedule(5)  // earlier: now first
+	e.Run()
+	want := []string{"c", "b", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRescheduleTieOrder: a rescheduled timer draws a fresh sequence number,
+// so landing on an instant shared with an existing event fires after it —
+// exactly like cancel + re-schedule.
+func TestRescheduleTieOrder(t *testing.T) {
+	e := New(1)
+	var order []string
+	a := e.Schedule(5, func() { order = append(order, "a") })
+	e.Schedule(10, func() { order = append(order, "b") })
+	a.Reschedule(10)
+	e.Run()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", order)
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(50, func() {})
+	e.Schedule(20, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reschedule into the past did not panic")
+			}
+		}()
+		tm.Reschedule(10) // now is 20
+	})
+	e.Run()
+}
+
+func TestRescheduleCanceledPanics(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(10, func() {})
+	tm.Cancel()
+	defer func() {
+		if recover() == nil {
+			t.Error("Reschedule of canceled timer did not panic")
+		}
+	}()
+	tm.Reschedule(20)
+}
+
+func TestRescheduleFiredPanics(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Reschedule of fired timer did not panic")
+		}
+	}()
+	tm.Reschedule(20)
+}
+
+// TestRescheduleHeapInvariant stresses heap.Fix against a churn of moves in
+// both directions and checks global firing order.
+func TestRescheduleHeapInvariant(t *testing.T) {
+	e := New(1)
+	const n = 200
+	timers := make([]*Timer, n)
+	var fired []Time
+	for i := 0; i < n; i++ {
+		timers[i] = e.Schedule(Time(100+i), func() { fired = append(fired, e.Now()) })
+	}
+	// Deterministically shuffle deadlines via the engine RNG.
+	for i := 0; i < n; i++ {
+		timers[i].Reschedule(Time(100 + e.Rand().Intn(500)))
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order: %v then %v", fired[i-1], fired[i])
+		}
+	}
+}
+
+// TestPendingCounter: Pending must track schedule, cancel and fire exactly —
+// it is a live counter now, not a heap scan.
+func TestPendingCounter(t *testing.T) {
+	e := New(1)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d at start, want 0", e.Pending())
+	}
+	a := e.Schedule(10, func() {})
+	b := e.Schedule(20, func() {})
+	e.Schedule(30, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d after 3 schedules, want 3", e.Pending())
+	}
+	a.Cancel()
+	a.Cancel() // double-cancel must not double-decrement
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after cancel, want 2", e.Pending())
+	}
+	e.RunUntil(20)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after firing b, want 1", e.Pending())
+	}
+	_ = b
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// TestPooledEventStaleHandle: events are recycled through a free list; a
+// Timer handle from a fired event must go inert even when the underlying
+// event object is reused by a later Schedule.
+func TestPooledEventStaleHandle(t *testing.T) {
+	e := New(1)
+	first := e.Schedule(1, func() {})
+	e.Run()
+	if first.Active() {
+		t.Fatal("fired timer still Active")
+	}
+	ran := false
+	second := e.Schedule(2, func() { ran = true })
+	// Likely reuses first's event object. Canceling the stale handle must
+	// not cancel the new scheduling.
+	first.Cancel()
+	if !second.Active() {
+		t.Fatal("new timer inactive after stale Cancel")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("recycled event's callback suppressed by stale handle")
+	}
+}
+
+// TestCancelInsideCallback: canceling a not-yet-fired timer from within an
+// event callback keeps Pending consistent and suppresses the callback.
+func TestCancelInsideCallback(t *testing.T) {
+	e := New(1)
+	ran := false
+	victim := e.Schedule(10, func() { ran = true })
+	e.Schedule(5, func() { victim.Cancel() })
+	e.Run()
+	if ran {
+		t.Fatal("canceled event still ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", e.Pending())
+	}
+}
+
+// TestRescheduleSameTime: rescheduling to the event's current deadline is
+// legal and keeps it firing exactly once.
+func TestRescheduleSameTime(t *testing.T) {
+	e := New(1)
+	count := 0
+	tm := e.Schedule(10, func() { count++ })
+	tm.Reschedule(10)
+	e.Run()
+	if count != 1 {
+		t.Fatalf("event fired %d times, want 1", count)
+	}
+}
