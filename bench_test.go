@@ -12,11 +12,15 @@ package hog
 // schedule) use cmd/hogbench, whose output EXPERIMENTS.md records.
 
 import (
+	"context"
 	"io"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 
 	"hog/internal/experiments"
+	"hog/internal/harness"
 	"hog/internal/netmodel"
 	"hog/internal/sim"
 	"hog/internal/workload"
@@ -113,6 +117,38 @@ func BenchmarkLargeGrid(b *testing.B) {
 	b.ReportMetric(r.Response.Seconds(), "response-s")
 	b.ReportMetric(float64(r.EventsFired), "events")
 	b.ReportMetric(100*r.CrossSiteFrac, "cross-site-%")
+}
+
+// BenchmarkHarnessSuite runs the full experiment matrix through the
+// parallel harness and emits the same versioned JSON results document
+// hogbench -json produces. Set HOG_BENCH_JSON=path to keep the document as
+// a CI artifact; otherwise it is discarded after serialization.
+func BenchmarkHarnessSuite(b *testing.B) {
+	var doc *harness.Doc
+	for i := 0; i < b.N; i++ {
+		var err error
+		doc, err = harness.RunSuite(context.Background(), []string{"all"}, experiments.Quick(), runtime.NumCPU())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	trials := 0
+	for _, e := range doc.Experiments {
+		trials += len(e.Trials)
+	}
+	b.ReportMetric(float64(trials), "trials")
+	out := io.Writer(io.Discard)
+	if path := os.Getenv("HOG_BENCH_JSON"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := doc.WriteJSON(out); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkTable1FacebookBins regenerates Table I: the Facebook bin

@@ -3,26 +3,75 @@
 //
 // Usage:
 //
-//	hogbench -exp all            # everything, paper scale (several minutes)
-//	hogbench -exp fig4 -quick    # one experiment, reduced scale
-//	hogbench -list               # show available experiment ids
+//	hogbench -exp all                  # everything, paper scale (several minutes)
+//	hogbench -exp fig4 -quick          # one experiment, reduced scale
+//	hogbench -exp all -parallel 8      # trial matrix across 8 workers
+//	hogbench -exp all -json -out r.json # versioned JSON results document
+//	hogbench -list                     # show available experiment ids
 //
 // Experiment ids map to the paper via DESIGN.md's per-experiment index.
+// With -json or -parallel > 1 the run goes through internal/harness: the
+// experiments are expanded into a trial matrix and executed across a
+// bounded worker pool; for a fixed seed set the JSON document is
+// bit-identical for any -parallel value (docs/HARNESS.md records the
+// schema and the determinism contract). Without either flag the classic
+// sequential text report is printed unchanged.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"hog/internal/experiments"
+	"hog/internal/harness"
 )
 
 type runner struct {
-	id   string
-	desc string
-	run  func(opts experiments.Options)
+	id    string
+	desc  string
+	alias bool // duplicates another id; skipped in -exp all
+	run   func(w io.Writer, opts experiments.Options)
+}
+
+// printers maps experiment ids to their classic text formatters. Ids and
+// descriptions come from harness.Specs(), so the text and harness paths
+// can never drift apart.
+var printers = map[string]func(io.Writer, experiments.Options){
+	"table1":    func(w io.Writer, _ experiments.Options) { experiments.PrintTable1(w) },
+	"table2":    func(w io.Writer, _ experiments.Options) { experiments.PrintTable2(w) },
+	"table3":    experiments.PrintTable3,
+	"fig4":      experiments.PrintFig4,
+	"fig5":      experiments.PrintFig5Table4,
+	"site":      experiments.PrintSiteFailure,
+	"repl":      experiments.PrintReplicationSweep,
+	"heartbeat": experiments.PrintHeartbeatSweep,
+	"zombie":    experiments.PrintZombieSweep,
+	"disk":      experiments.PrintDiskOverflow,
+	"ncopy":     experiments.PrintRedundantCopies,
+	"delay":     experiments.PrintDelayScheduling,
+	"hod":       experiments.PrintHODComparison,
+	"grid":      experiments.PrintLargeGrid,
+}
+
+// runners derives the text-path registry from the harness spec registry,
+// inserting the table4 alias after fig5.
+func runners() []runner {
+	var out []runner
+	for _, s := range harness.Specs() {
+		p, ok := printers[s.ID]
+		if !ok {
+			panic(fmt.Sprintf("hogbench: no printer for experiment %q", s.ID))
+		}
+		out = append(out, runner{id: s.ID, desc: s.Desc, run: p})
+		if s.ID == "fig5" {
+			out = append(out, runner{id: "table4", desc: "Table IV (alias of fig5)", alias: true, run: p})
+		}
+	}
+	return out
 }
 
 func main() {
@@ -30,29 +79,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale and single seed")
 	list := flag.Bool("list", false, "list experiment ids")
 	scale := flag.Float64("scale", 0, "override workload scale (0 = preset)")
+	parallel := flag.Int("parallel", 1, "worker pool size for the trial matrix")
+	jsonOut := flag.Bool("json", false, "emit the versioned JSON results document")
+	outPath := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
 
-	out := os.Stdout
-	runners := []runner{
-		{"table1", "Table I: Facebook workload bins", func(experiments.Options) { experiments.PrintTable1(out) }},
-		{"table2", "Table II: truncated workload", func(experiments.Options) { experiments.PrintTable2(out) }},
-		{"table3", "Table III: dedicated cluster baseline", func(o experiments.Options) { experiments.PrintTable3(out, o) }},
-		{"fig4", "Figure 4: equivalent performance sweep", func(o experiments.Options) { experiments.PrintFig4(out, o) }},
-		{"fig5", "Figure 5 + Table IV: node fluctuation", func(o experiments.Options) { experiments.PrintFig5Table4(out, o) }},
-		{"table4", "Table IV (alias of fig5)", func(o experiments.Options) { experiments.PrintFig5Table4(out, o) }},
-		{"site", "A-SITE: whole-site failure ablation", func(o experiments.Options) { experiments.PrintSiteFailure(out, o) }},
-		{"repl", "A-REPL: replication factor sweep", func(o experiments.Options) { experiments.PrintReplicationSweep(out, o) }},
-		{"heartbeat", "A-HB: dead timeout 30s vs 15min", func(o experiments.Options) { experiments.PrintHeartbeatSweep(out, o) }},
-		{"zombie", "A-ZOMBIE: abandoned datanode modes", func(o experiments.Options) { experiments.PrintZombieSweep(out, o) }},
-		{"disk", "A-DISK: intermediate-data disk overflow", func(o experiments.Options) { experiments.PrintDiskOverflow(out, o) }},
-		{"ncopy", "A-NCOPY: redundant task copies", func(o experiments.Options) { experiments.PrintRedundantCopies(out, o) }},
-		{"delay", "A-DELAY: FIFO vs delay scheduling", func(o experiments.Options) { experiments.PrintDelayScheduling(out, o) }},
-		{"hod", "A-HOD: Hadoop On Demand baseline", func(o experiments.Options) { experiments.PrintHODComparison(out, o) }},
-		{"grid", "LARGE-GRID: ~1000 nodes across 12 sites", func(o experiments.Options) { experiments.PrintLargeGrid(out, o) }},
-	}
-
+	rs := runners()
 	if *list {
-		for _, r := range runners {
+		for _, r := range rs {
 			fmt.Printf("%-10s %s\n", r.id, r.desc)
 		}
 		return
@@ -66,22 +100,96 @@ func main() {
 		opts.Scale = *scale
 	}
 
-	ran := false
-	for _, r := range runners {
-		if *exp != "all" && *exp != r.id {
-			continue
+	// Validate the id before touching -out, so a typo can't truncate a
+	// previous artifact.
+	valid := *exp == "all"
+	for _, r := range rs {
+		if r.id == *exp {
+			valid = true
 		}
-		// table4 duplicates fig5 in -exp all.
-		if *exp == "all" && r.id == "table4" {
-			continue
-		}
-		ran = true
-		start := time.Now()
-		r.run(opts)
-		fmt.Fprintf(out, "[%s done in %.1fs]\n\n", r.id, time.Since(start).Seconds())
 	}
-	if !ran {
+	if !valid {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
+
+	if *jsonOut || *parallel > 1 {
+		if err := runHarness(*exp, opts, *parallel, *jsonOut, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	out, err := openOut(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, r := range rs {
+		if *exp != "all" && *exp != r.id {
+			continue
+		}
+		if *exp == "all" && r.alias {
+			continue
+		}
+		start := time.Now()
+		r.run(out, opts)
+		fmt.Fprintf(out, "[%s done in %.1fs]\n\n", r.id, time.Since(start).Seconds())
+	}
+	if err := closeOut(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// openOut returns stdout, or the named file when -out is set.
+func openOut(path string) (*os.File, error) {
+	if path == "" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+// closeOut closes an openOut file, leaving stdout alone.
+func closeOut(f *os.File) error {
+	if f == os.Stdout {
+		return nil
+	}
+	return f.Close()
+}
+
+// runHarness executes the trial matrix through the parallel harness and
+// emits the results as JSON or a generic text table. Timing goes to stderr
+// so the document stays bit-identical across worker counts.
+func runHarness(exp string, opts experiments.Options, parallel int, jsonOut bool, outPath string) error {
+	// Validate the selection and open the output before the (potentially
+	// minutes-long) run, so neither a bad id nor a bad path discards it.
+	if _, err := harness.Select(exp); err != nil {
+		return err
+	}
+	out, err := openOut(outPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	doc, err := harness.RunSuite(context.Background(), []string{exp}, opts, parallel)
+	if err != nil {
+		closeOut(out)
+		return err
+	}
+	trials := 0
+	for _, e := range doc.Experiments {
+		trials += len(e.Trials)
+	}
+	fmt.Fprintf(os.Stderr, "[%d trials on %d workers in %.1fs]\n", trials, parallel, time.Since(start).Seconds())
+	if jsonOut {
+		if err := doc.WriteJSON(out); err != nil {
+			closeOut(out)
+			return err
+		}
+	} else {
+		doc.WriteText(out)
+	}
+	return closeOut(out)
 }

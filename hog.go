@@ -21,8 +21,12 @@
 package hog
 
 import (
+	"context"
+
 	"hog/internal/core"
+	"hog/internal/experiments"
 	"hog/internal/grid"
+	"hog/internal/harness"
 	"hog/internal/hod"
 	"hog/internal/metrics"
 	"hog/internal/mrlocal"
@@ -58,6 +62,8 @@ type (
 	Series = metrics.Series
 	// Summary holds order statistics over durations.
 	Summary = metrics.Summary
+	// FloatSummary holds mean/min/max/stddev over a float sample.
+	FloatSummary = metrics.FloatSummary
 	// Time is a simulated timestamp/duration in integer microseconds.
 	Time = sim.Time
 )
@@ -160,6 +166,42 @@ func RunHOD(sched *Schedule, cfg HODConfig) *HODResult { return hod.Run(sched, c
 // DefaultHODConfig returns a HOD setup with the given per-job cluster size.
 func DefaultHODConfig(nodesPerJob int, seed int64) HODConfig {
 	return hod.DefaultConfig(nodesPerJob, seed)
+}
+
+// Experiment suite: the paper's evaluation as a parallel trial matrix with
+// a versioned JSON results document (see docs/HARNESS.md).
+type (
+	// ExperimentOptions controls experiment cost (scale, seeds, node sweep).
+	ExperimentOptions = experiments.Options
+	// ResultsDoc is the versioned JSON results document of a suite run.
+	ResultsDoc = harness.Doc
+	// TrialResult is one executed trial of the experiment matrix.
+	TrialResult = harness.TrialResult
+	// TrialMetrics holds one trial's named scalar measurements.
+	TrialMetrics = harness.Metrics
+)
+
+// QuickOptions returns cheap experiment options for smoke runs.
+func QuickOptions() ExperimentOptions { return experiments.Quick() }
+
+// FullOptions returns the paper-scale experiment options.
+func FullOptions() ExperimentOptions { return experiments.Full() }
+
+// ExperimentIDs lists the runnable experiment ids (hogbench -list).
+func ExperimentIDs() []string {
+	var ids []string
+	for _, s := range harness.Specs() {
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// RunSuite expands the named experiments ("all" for everything) into the
+// trial matrix, executes it across a bounded pool of workers, and returns
+// the results document. For a fixed seed set the document is bit-identical
+// regardless of worker count.
+func RunSuite(ctx context.Context, ids []string, opts ExperimentOptions, workers int) (*ResultsDoc, error) {
+	return harness.RunSuite(ctx, ids, opts, workers)
 }
 
 // Seconds converts float seconds to a simulated Time.

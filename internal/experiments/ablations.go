@@ -11,6 +11,22 @@ import (
 	"hog/internal/workload"
 )
 
+// SiteFailureCase is one A-SITE configuration.
+type SiteFailureCase struct {
+	Label     string
+	Repl      int
+	SiteAware bool
+}
+
+// SiteFailureCases returns the paper's configuration (replication 10, site
+// aware) and a naive one (replication 2, flat).
+func SiteFailureCases() []SiteFailureCase {
+	return []SiteFailureCase{
+		{"HOG (repl 10, site-aware)", 10, true},
+		{"naive (repl 2, flat)", 2, false},
+	}
+}
+
 // SiteFailureResult is one configuration's outcome under a whole-site
 // outage (A-SITE).
 type SiteFailureResult struct {
@@ -22,33 +38,29 @@ type SiteFailureResult struct {
 	Response   sim.Time
 }
 
-// SiteFailure kills the largest site mid-run under the paper's configuration
-// (replication 10, site aware) and under a naive one (replication 2, flat).
-func SiteFailure(opts Options) []SiteFailureResult {
-	opts = opts.withDefaults()
-	cases := []struct {
-		label     string
-		repl      int
-		siteAware bool
-	}{
-		{"HOG (repl 10, site-aware)", 10, true},
-		{"naive (repl 2, flat)", 2, false},
+// SiteFailureTrial kills the largest site mid-run under one configuration.
+func SiteFailureTrial(c SiteFailureCase, opts Options) SiteFailureResult {
+	opts = opts.WithDefaults()
+	cfg := core.HOGConfig(60, grid.ChurnNone, opts.Seeds[0])
+	cfg.HDFS.Replication = c.Repl
+	cfg.HDFS.SiteAware = c.SiteAware
+	sys := core.New(cfg)
+	// Provision first so the outage hits a populated, data-bearing site.
+	sys.AwaitNodes()
+	sys.Eng.After(300*sim.Second, func() { sys.Pool.PreemptSite(0, 1.0) })
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return SiteFailureResult{
+		Label: c.Label, Repl: c.Repl, SiteAware: c.SiteAware,
+		BlocksLost: res.NN.BlocksLost, JobsFailed: res.JobsFailed,
+		Response: res.ResponseTime,
 	}
+}
+
+// SiteFailure runs A-SITE under every configuration.
+func SiteFailure(opts Options) []SiteFailureResult {
 	var out []SiteFailureResult
-	for _, c := range cases {
-		cfg := core.HOGConfig(60, grid.ChurnNone, opts.Seeds[0])
-		cfg.HDFS.Replication = c.repl
-		cfg.HDFS.SiteAware = c.siteAware
-		sys := core.New(cfg)
-		// Provision first so the outage hits a populated, data-bearing site.
-		sys.AwaitNodes()
-		sys.Eng.After(300*sim.Second, func() { sys.Pool.PreemptSite(0, 1.0) })
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		out = append(out, SiteFailureResult{
-			Label: c.label, Repl: c.repl, SiteAware: c.siteAware,
-			BlocksLost: res.NN.BlocksLost, JobsFailed: res.JobsFailed,
-			Response: res.ResponseTime,
-		})
+	for _, c := range SiteFailureCases() {
+		out = append(out, SiteFailureTrial(c, opts))
 	}
 	return out
 }
@@ -62,6 +74,9 @@ func PrintSiteFailure(w io.Writer, opts Options) {
 	}
 }
 
+// ReplicationFactors returns the A-REPL sweep points.
+func ReplicationFactors() []int { return []int{3, 5, 10, 15} }
+
 // ReplicationResult is one replication factor's outcome (A-REPL).
 type ReplicationResult struct {
 	Repl            int
@@ -72,22 +87,27 @@ type ReplicationResult struct {
 	CrossSiteBytes  float64
 }
 
-// ReplicationSweep varies the replication factor under unstable churn,
+// ReplicationTrial runs one replication factor under unstable churn,
 // exposing the paper's trade-off: "Too many replicas would impose extra
 // replication overhead ... Too few would cause frequent data failures."
+func ReplicationTrial(repl int, opts Options) ReplicationResult {
+	opts = opts.WithDefaults()
+	cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
+	cfg.HDFS.Replication = repl
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return ReplicationResult{
+		Repl: repl, JobsFailed: res.JobsFailed, BlocksLost: res.NN.BlocksLost,
+		Response: res.ResponseTime, BytesReplicated: res.NN.BytesReplicated,
+		CrossSiteBytes: res.Net.BytesCrossSite,
+	}
+}
+
+// ReplicationSweep varies the replication factor under unstable churn.
 func ReplicationSweep(opts Options) []ReplicationResult {
-	opts = opts.withDefaults()
 	var out []ReplicationResult
-	for _, repl := range []int{3, 5, 10, 15} {
-		cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
-		cfg.HDFS.Replication = repl
-		sys := core.New(cfg)
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		out = append(out, ReplicationResult{
-			Repl: repl, JobsFailed: res.JobsFailed, BlocksLost: res.NN.BlocksLost,
-			Response: res.ResponseTime, BytesReplicated: res.NN.BytesReplicated,
-			CrossSiteBytes: res.Net.BytesCrossSite,
-		})
+	for _, repl := range ReplicationFactors() {
+		out = append(out, ReplicationTrial(repl, opts))
 	}
 	return out
 }
@@ -103,6 +123,10 @@ func PrintReplicationSweep(w io.Writer, opts Options) {
 	}
 }
 
+// HeartbeatTimeouts returns the A-HB sweep points: HOG's 30 s dead timeout
+// and the traditional 15 minutes.
+func HeartbeatTimeouts() []sim.Time { return []sim.Time{30 * sim.Second, 900 * sim.Second} }
+
 // HeartbeatResult is one dead-timeout setting's outcome (A-HB).
 type HeartbeatResult struct {
 	Timeout    sim.Time
@@ -110,18 +134,22 @@ type HeartbeatResult struct {
 	JobsFailed int
 }
 
-// HeartbeatSweep compares HOG's 30 s dead timeout against the traditional
-// 15 minutes under unstable churn.
+// HeartbeatTrial runs one dead-timeout setting under unstable churn.
+func HeartbeatTrial(timeout sim.Time, opts Options) HeartbeatResult {
+	opts = opts.WithDefaults()
+	cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
+	cfg.HDFS.DeadTimeout = timeout
+	cfg.MapRed.TrackerTimeout = timeout
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return HeartbeatResult{Timeout: timeout, Response: res.ResponseTime, JobsFailed: res.JobsFailed}
+}
+
+// HeartbeatSweep compares the dead-timeout settings under unstable churn.
 func HeartbeatSweep(opts Options) []HeartbeatResult {
-	opts = opts.withDefaults()
 	var out []HeartbeatResult
-	for _, timeout := range []sim.Time{30 * sim.Second, 900 * sim.Second} {
-		cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
-		cfg.HDFS.DeadTimeout = timeout
-		cfg.MapRed.TrackerTimeout = timeout
-		sys := core.New(cfg)
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		out = append(out, HeartbeatResult{Timeout: timeout, Response: res.ResponseTime, JobsFailed: res.JobsFailed})
+	for _, timeout := range HeartbeatTimeouts() {
+		out = append(out, HeartbeatTrial(timeout, opts))
 	}
 	return out
 }
@@ -135,6 +163,11 @@ func PrintHeartbeatSweep(w io.Writer, opts Options) {
 	}
 }
 
+// ZombieModes returns the three §IV.D.1 behaviours.
+func ZombieModes() []core.ZombieMode {
+	return []core.ZombieMode{core.ZombieUnfixed, core.ZombieDiskCheck, core.ZombieFixed}
+}
+
 // ZombieResult is one zombie-handling mode's outcome (A-ZOMBIE).
 type ZombieResult struct {
 	Mode           core.ZombieMode
@@ -144,22 +177,27 @@ type ZombieResult struct {
 	JobsFailed     int
 }
 
+// ZombieTrial runs one zombie-handling mode under unstable churn.
+func ZombieTrial(mode core.ZombieMode, opts Options) ZombieResult {
+	opts = opts.WithDefaults()
+	cfg := core.HOGConfig(55, grid.ChurnUnstable, opts.Seeds[0])
+	cfg.Zombie = mode
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return ZombieResult{
+		Mode:           mode,
+		Response:       res.ResponseTime,
+		FailedAttempts: res.Counters.MapAttemptsFailed + res.Counters.ReduceAttemptsFailed,
+		FetchFailures:  res.Counters.FetchFailures,
+		JobsFailed:     res.JobsFailed,
+	}
+}
+
 // ZombieSweep compares the three §IV.D.1 behaviours under unstable churn.
 func ZombieSweep(opts Options) []ZombieResult {
-	opts = opts.withDefaults()
 	var out []ZombieResult
-	for _, mode := range []core.ZombieMode{core.ZombieUnfixed, core.ZombieDiskCheck, core.ZombieFixed} {
-		cfg := core.HOGConfig(55, grid.ChurnUnstable, opts.Seeds[0])
-		cfg.Zombie = mode
-		sys := core.New(cfg)
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		out = append(out, ZombieResult{
-			Mode:           mode,
-			Response:       res.ResponseTime,
-			FailedAttempts: res.Counters.MapAttemptsFailed + res.Counters.ReduceAttemptsFailed,
-			FetchFailures:  res.Counters.FetchFailures,
-			JobsFailed:     res.JobsFailed,
-		})
+	for _, mode := range ZombieModes() {
+		out = append(out, ZombieTrial(mode, opts))
 	}
 	return out
 }
@@ -174,6 +212,12 @@ func PrintZombieSweep(w io.Writer, opts Options) {
 	}
 }
 
+// DiskFactors returns the A-DISK scratch sizes relative to the workload's
+// replicated input footprint per node: ample (10x), tight (1.6x), and
+// overflowing (1.15x — input fits, but lingering intermediate output does
+// not).
+func DiskFactors() []float64 { return []float64{10, 1.6, 1.15} }
+
 // DiskOverflowResult is one scratch-size outcome (A-DISK).
 type DiskOverflowResult struct {
 	DiskGB    float64
@@ -182,13 +226,11 @@ type DiskOverflowResult struct {
 	Response  sim.Time
 }
 
-// DiskOverflow shrinks worker scratch space until intermediate map output
-// accumulation kills workers (§IV.D.2). Disk sizes are set relative to the
-// workload's replicated input footprint per node, so the experiment is
-// meaningful at any Scale: ample (10x), tight (1.6x), and overflowing
-// (1.15x — input fits, but lingering intermediate output does not).
-func DiskOverflow(opts Options) []DiskOverflowResult {
-	opts = opts.withDefaults()
+// DiskOverflowTrial runs one scratch-size factor (§IV.D.2). Disk sizes are
+// set relative to the workload's replicated input footprint per node, so
+// the experiment is meaningful at any Scale.
+func DiskOverflowTrial(factor float64, opts Options) DiskOverflowResult {
+	opts = opts.WithDefaults()
 	const nodes = 60
 	s := sched(opts.Seeds[0], opts.Scale)
 	var inputBytes float64
@@ -196,22 +238,28 @@ func DiskOverflow(opts Options) []DiskOverflowResult {
 		inputBytes += j.InputBytes
 	}
 	perNode := inputBytes * 10 / nodes // replication 10
+	diskGB := perNode * factor / 1e9
+	cfg := core.HOGConfig(nodes, grid.ChurnNone, opts.Seeds[0])
+	cfg.Grid.Pool.DiskBytesPerNode = diskGB * 1e9
+	// Slow the reduces so intermediate output lingers, as the paper's
+	// WAN-bound reduces did.
+	cfg.Costs.ReduceCostPerMB = 400 * sim.Millisecond
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return DiskOverflowResult{
+		DiskGB:    diskGB,
+		Overflows: sys.Disk.Overflows(),
+		Killed:    res.Pool.Killed,
+		Response:  res.ResponseTime,
+	}
+}
+
+// DiskOverflow shrinks worker scratch space until intermediate map output
+// accumulation kills workers (§IV.D.2).
+func DiskOverflow(opts Options) []DiskOverflowResult {
 	var out []DiskOverflowResult
-	for _, factor := range []float64{10, 1.6, 1.15} {
-		diskGB := perNode * factor / 1e9
-		cfg := core.HOGConfig(nodes, grid.ChurnNone, opts.Seeds[0])
-		cfg.Grid.Pool.DiskBytesPerNode = diskGB * 1e9
-		// Slow the reduces so intermediate output lingers, as the paper's
-		// WAN-bound reduces did.
-		cfg.Costs.ReduceCostPerMB = 400 * sim.Millisecond
-		sys := core.New(cfg)
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		out = append(out, DiskOverflowResult{
-			DiskGB:    diskGB,
-			Overflows: sys.Disk.Overflows(),
-			Killed:    res.Pool.Killed,
-			Response:  res.ResponseTime,
-		})
+	for _, factor := range DiskFactors() {
+		out = append(out, DiskOverflowTrial(factor, opts))
 	}
 	return out
 }
@@ -225,6 +273,25 @@ func PrintDiskOverflow(w io.Writer, opts Options) {
 	}
 }
 
+// NCopyCase is one redundant-copy configuration.
+type NCopyCase struct {
+	Copies      int
+	Eager       bool
+	Speculative bool
+}
+
+// NCopyCases returns the A-NCOPY configurations: no speculation, stock
+// Hadoop speculation, and the paper's §VI future work (eager duplicates and
+// triple execution).
+func NCopyCases() []NCopyCase {
+	return []NCopyCase{
+		{1, false, false}, // no speculation at all
+		{2, false, true},  // stock Hadoop speculation
+		{2, true, true},   // future work: eager duplicates
+		{3, true, true},   // future work: triple execution
+	}
+}
+
 // NCopyResult is one redundant-copy setting's outcome (A-NCOPY).
 type NCopyResult struct {
 	Copies      int
@@ -233,34 +300,29 @@ type NCopyResult struct {
 	Speculative int
 }
 
-// RedundantCopies explores the paper's future work (§VI): configurable
-// numbers of task copies with the fastest taken as the result, versus stock
-// speculation (2 copies, stragglers only) and no speculation.
-func RedundantCopies(opts Options) []NCopyResult {
-	opts = opts.withDefaults()
-	cases := []struct {
-		copies int
-		eager  bool
-		spec   bool
-	}{
-		{1, false, false}, // no speculation at all
-		{2, false, true},  // stock Hadoop speculation
-		{2, true, true},   // future work: eager duplicates
-		{3, true, true},   // future work: triple execution
+// RedundantCopiesTrial runs one copy configuration under unstable churn,
+// with the fastest copy taken as the result.
+func RedundantCopiesTrial(c NCopyCase, opts Options) NCopyResult {
+	opts = opts.WithDefaults()
+	cfg := core.HOGConfig(80, grid.ChurnUnstable, opts.Seeds[0])
+	cfg.MapRed.Speculative = c.Speculative
+	cfg.MapRed.MaxTaskCopies = c.Copies
+	cfg.MapRed.EagerRedundancy = c.Eager
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return NCopyResult{
+		Copies: c.Copies, Eager: c.Eager,
+		Response:    res.ResponseTime,
+		Speculative: res.Counters.SpeculativeMaps + res.Counters.SpeculativeReduces,
 	}
+}
+
+// RedundantCopies explores the paper's future work (§VI): configurable
+// numbers of task copies versus stock speculation and no speculation.
+func RedundantCopies(opts Options) []NCopyResult {
 	var out []NCopyResult
-	for _, c := range cases {
-		cfg := core.HOGConfig(80, grid.ChurnUnstable, opts.Seeds[0])
-		cfg.MapRed.Speculative = c.spec
-		cfg.MapRed.MaxTaskCopies = c.copies
-		cfg.MapRed.EagerRedundancy = c.eager
-		sys := core.New(cfg)
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		out = append(out, NCopyResult{
-			Copies: c.copies, Eager: c.eager,
-			Response:    res.ResponseTime,
-			Speculative: res.Counters.SpeculativeMaps + res.Counters.SpeculativeReduces,
-		})
+	for _, c := range NCopyCases() {
+		out = append(out, RedundantCopiesTrial(c, opts))
 	}
 	return out
 }
@@ -274,6 +336,9 @@ func PrintRedundantCopies(w io.Writer, opts Options) {
 	}
 }
 
+// DelayWaits returns the A-DELAY locality-wait sweep points.
+func DelayWaits() []sim.Time { return []sim.Time{0, 15 * sim.Second, 45 * sim.Second} }
+
 // DelayResult is one scheduler setting's outcome (A-DELAY).
 type DelayResult struct {
 	Wait         sim.Time
@@ -283,28 +348,33 @@ type DelayResult struct {
 	LocalityRate float64
 }
 
+// DelayTrial runs one locality-wait setting at a low replication factor
+// where locality is scarce.
+func DelayTrial(wait sim.Time, opts Options) DelayResult {
+	opts = opts.WithDefaults()
+	cfg := core.HOGConfig(60, grid.ChurnStable, opts.Seeds[0])
+	cfg.HDFS.Replication = 2 // make locality contended
+	cfg.MapRed.LocalityWait = wait
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	local := res.MapLocality[0]
+	nonLocal := res.MapLocality[1] + res.MapLocality[2]
+	rate := 0.0
+	if local+nonLocal > 0 {
+		rate = float64(local) / float64(local+nonLocal)
+	}
+	return DelayResult{
+		Wait: wait, Response: res.ResponseTime,
+		NodeLocal: local, NonLocal: nonLocal, LocalityRate: rate,
+	}
+}
+
 // DelayScheduling compares HOG's plain FIFO against delay scheduling
-// (Zaharia et al. [3], the paper's workload source) at a low replication
-// factor where locality is scarce.
+// (Zaharia et al. [3], the paper's workload source).
 func DelayScheduling(opts Options) []DelayResult {
-	opts = opts.withDefaults()
 	var out []DelayResult
-	for _, wait := range []sim.Time{0, 15 * sim.Second, 45 * sim.Second} {
-		cfg := core.HOGConfig(60, grid.ChurnStable, opts.Seeds[0])
-		cfg.HDFS.Replication = 2 // make locality contended
-		cfg.MapRed.LocalityWait = wait
-		sys := core.New(cfg)
-		res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
-		local := res.MapLocality[0]
-		nonLocal := res.MapLocality[1] + res.MapLocality[2]
-		rate := 0.0
-		if local+nonLocal > 0 {
-			rate = float64(local) / float64(local+nonLocal)
-		}
-		out = append(out, DelayResult{
-			Wait: wait, Response: res.ResponseTime,
-			NodeLocal: local, NonLocal: nonLocal, LocalityRate: rate,
-		})
+	for _, wait := range DelayWaits() {
+		out = append(out, DelayTrial(wait, opts))
 	}
 	return out
 }
@@ -319,6 +389,9 @@ func PrintDelayScheduling(w io.Writer, opts Options) {
 	}
 }
 
+// HODSystems returns the two compared systems of A-HOD.
+func HODSystems() []string { return []string{"HOD (per-job clusters)", "HOG (persistent pool)"} }
+
 // HODResultRow compares HOD with HOG on the same schedule (A-HOD).
 type HODResultRow struct {
 	System         string
@@ -326,29 +399,47 @@ type HODResultRow struct {
 	Reconstruction sim.Time
 }
 
-// HODComparison runs a schedule under HOD (per-job clusters) and under a
-// persistent HOG pool of the same size. The comparison uses the workload's
-// small-job bins (1-3, ~77% of Facebook jobs): the paper's critique of HOD
-// is per-request reconstruction overhead, which dominates exactly for
-// "frequent MapReduce requests" of short jobs. For rare long jobs HOD's
-// private clusters can win — that is not the regime either system targets.
-func HODComparison(opts Options) []HODResultRow {
-	opts = opts.withDefaults()
+// hodSchedule builds the A-HOD schedule: the workload's small-job bins
+// (1-3, ~77% of Facebook jobs), where the paper's critique of HOD —
+// per-request reconstruction overhead — dominates. For rare long jobs HOD's
+// private clusters can win; that is not the regime either system targets.
+func hodSchedule(opts Options) *workload.Schedule {
 	scale := opts.Scale
 	if scale > 0.5 {
 		scale = 0.5
 	}
-	s := workload.Generate(opts.Seeds[0], workload.Config{
+	return workload.Generate(opts.Seeds[0], workload.Config{
 		Bins:  workload.Table2()[:3],
 		Scale: scale,
 	})
-	hodRes := hod.Run(s, hod.DefaultConfig(30, opts.Seeds[0]))
-	sys := core.New(core.HOGConfig(30, grid.ChurnStable, opts.Seeds[0]))
-	hogRes := sys.RunWorkload(s)
-	return []HODResultRow{
-		{"HOD (per-job clusters)", hodRes.ResponseTime, hodRes.ReconstructionOverhead},
-		{"HOG (persistent pool)", hogRes.ResponseTime, 0},
+}
+
+// HODTrial runs the A-HOD schedule under one of the HODSystems labels: HOD
+// (a fresh per-job cluster) or a persistent HOG pool of the same size.
+// Unknown labels panic rather than silently running the wrong system.
+func HODTrial(system string, opts Options) HODResultRow {
+	opts = opts.WithDefaults()
+	s := hodSchedule(opts)
+	switch system {
+	case HODSystems()[0]:
+		hodRes := hod.Run(s, hod.DefaultConfig(30, opts.Seeds[0]))
+		return HODResultRow{system, hodRes.ResponseTime, hodRes.ReconstructionOverhead}
+	case HODSystems()[1]:
+		sys := core.New(core.HOGConfig(30, grid.ChurnStable, opts.Seeds[0]))
+		return HODResultRow{system, sys.RunWorkload(s).ResponseTime, 0}
+	default:
+		panic(fmt.Sprintf("experiments: unknown HOD system %q", system))
 	}
+}
+
+// HODComparison runs a schedule under HOD (per-job clusters) and under a
+// persistent HOG pool of the same size.
+func HODComparison(opts Options) []HODResultRow {
+	var out []HODResultRow
+	for _, system := range HODSystems() {
+		out = append(out, HODTrial(system, opts))
+	}
+	return out
 }
 
 // PrintHODComparison prints A-HOD.

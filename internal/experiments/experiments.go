@@ -1,8 +1,10 @@
 // Package experiments implements the paper's evaluation section as callable
-// experiment harnesses: one function per table and figure, plus the ablation
-// studies DESIGN.md calls out. cmd/hogbench prints their rows; bench_test.go
-// wraps them in testing.B benchmarks; EXPERIMENTS.md records paper-versus-
-// measured values.
+// experiment harnesses: one pure Run*/Trial function per table and figure
+// returning typed rows, plus the ablation studies DESIGN.md calls out. The
+// Print* functions are thin formatters over those rows; internal/harness
+// expands them into a parallel trial matrix; cmd/hogbench prints or
+// serializes them; bench_test.go wraps them in testing.B benchmarks;
+// EXPERIMENTS.md records paper-versus-measured values.
 package experiments
 
 import (
@@ -29,12 +31,22 @@ type Options struct {
 	Nodes []int
 }
 
-func (o Options) withDefaults() Options {
+// fig4Nodes returns the sampling points on the paper's Figure 4 x-axis.
+func fig4Nodes() []int {
+	return []int{40, 50, 55, 60, 99, 100, 132, 160, 171, 180, 974, 1101}
+}
+
+// WithDefaults fills unset fields with the paper-scale defaults, including
+// the Figure 4 node sweep — callers never need per-call fallbacks.
+func (o Options) WithDefaults() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1.0
 	}
 	if len(o.Seeds) == 0 {
 		o.Seeds = []int64{1, 2, 3}
+	}
+	if len(o.Nodes) == 0 {
+		o.Nodes = fig4Nodes()
 	}
 	return o
 }
@@ -49,8 +61,7 @@ func Full() Options {
 	return Options{
 		Scale: 1.0,
 		Seeds: []int64{1, 2, 3},
-		// The sampling points on the paper's Figure 4 x-axis.
-		Nodes: []int{40, 50, 55, 60, 99, 100, 132, 160, 171, 180, 974, 1101},
+		Nodes: fig4Nodes(),
 	}
 }
 
@@ -60,33 +71,69 @@ func sched(seed int64, scale float64) *workload.Schedule {
 
 // ---------------------------------------------------------------- Table I/II
 
-// PrintTable1 prints the Facebook bin distribution and validates a generated
-// schedule against it.
-func PrintTable1(w io.Writer) {
-	fmt.Fprintln(w, "Table I: Facebook production workload bins")
-	fmt.Fprintln(w, "Bin  #Maps  %Jobs@FB  #Maps(bench)  #Jobs(bench)")
-	for _, b := range workload.Table1() {
-		fmt.Fprintf(w, "%3d  %-9s %5.0f%%  %12d  %12d\n",
-			b.Bin, b.MapsAtFacebook, b.PercentAtFacebook, b.Maps, b.Jobs)
-	}
+// Table1Result is the Facebook bin distribution plus a generated schedule's
+// audit against it.
+type Table1Result struct {
+	Bins        []workload.Bin
+	Jobs        int
+	BinCounts   []int
+	SpanSeconds float64
+}
+
+// RunTable1 validates a generated schedule against the Facebook bins.
+func RunTable1() Table1Result {
 	s := sched(1, 1.0)
 	count := map[int]int{}
 	for _, j := range s.Jobs {
 		count[j.Bin]++
 	}
+	return Table1Result{
+		Bins:        workload.Table1(),
+		Jobs:        len(s.Jobs),
+		BinCounts:   countsInOrder(count),
+		SpanSeconds: s.Span().Seconds(),
+	}
+}
+
+// PrintTable1 prints the Facebook bin distribution and the schedule audit.
+func PrintTable1(w io.Writer) {
+	r := RunTable1()
+	fmt.Fprintln(w, "Table I: Facebook production workload bins")
+	fmt.Fprintln(w, "Bin  #Maps  %Jobs@FB  #Maps(bench)  #Jobs(bench)")
+	for _, b := range r.Bins {
+		fmt.Fprintf(w, "%3d  %-9s %5.0f%%  %12d  %12d\n",
+			b.Bin, b.MapsAtFacebook, b.PercentAtFacebook, b.Maps, b.Jobs)
+	}
 	fmt.Fprintf(w, "generated schedule: %d jobs, bins %v, span %.0fs\n",
-		len(s.Jobs), countsInOrder(count), s.Span().Seconds())
+		r.Jobs, r.BinCounts, r.SpanSeconds)
+}
+
+// Table2Result is the truncated six-bin workload with its totals.
+type Table2Result struct {
+	Bins      []workload.Bin
+	TotalJobs int
+	TotalMaps int
+}
+
+// RunTable2 returns the truncated workload rows.
+func RunTable2() Table2Result {
+	bins := workload.Table2()
+	return Table2Result{
+		Bins:      bins,
+		TotalJobs: workload.TotalJobs(bins),
+		TotalMaps: workload.TotalMaps(bins),
+	}
 }
 
 // PrintTable2 prints the truncated six-bin workload.
 func PrintTable2(w io.Writer) {
+	r := RunTable2()
 	fmt.Fprintln(w, "Table II: truncated workload (bins 1-6, 88 jobs)")
 	fmt.Fprintln(w, "Bin  MapTasks  ReduceTasks  Jobs")
-	for _, b := range workload.Table2() {
+	for _, b := range r.Bins {
 		fmt.Fprintf(w, "%3d  %8d  %11d  %4d\n", b.Bin, b.Maps, b.Reduces, b.Jobs)
 	}
-	fmt.Fprintf(w, "total: %d jobs, %d map tasks\n",
-		workload.TotalJobs(workload.Table2()), workload.TotalMaps(workload.Table2()))
+	fmt.Fprintf(w, "total: %d jobs, %d map tasks\n", r.TotalJobs, r.TotalMaps)
 }
 
 func countsInOrder(m map[int]int) []int {
@@ -113,7 +160,7 @@ type Table3Result struct {
 // Table3 builds the Table III cluster, audits its shape, and measures the
 // workload response that forms Figure 4's dashed line.
 func Table3(opts Options) Table3Result {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	sys := core.New(core.DedicatedClusterConfig(opts.Seeds[0]))
 	r := Table3Result{}
 	for _, t := range sys.JT.AliveTrackers() {
@@ -142,6 +189,8 @@ type Fig4Point struct {
 	Nodes     int
 	Responses []sim.Time
 	Mean      sim.Time
+	// Summary aggregates the per-seed responses in seconds.
+	Summary metrics.FloatSummary
 }
 
 // Fig4Result is the equivalent-performance experiment.
@@ -151,27 +200,48 @@ type Fig4Result struct {
 	Crossover int // smallest HOG size whose mean beats the cluster
 }
 
-// Fig4 sweeps HOG pool sizes against the dedicated cluster (stable churn,
-// the paper's §IV.B procedure: reach the target size, then upload data and
-// run; several runs per sampling point).
+// Fig4TrialResult is one Figure 4 execution: the headline response time and
+// the completed-job count behind throughput metrics.
+type Fig4TrialResult struct {
+	Response  sim.Time
+	Completed int // jobs that finished (scheduled minus failed)
+}
+
+// Fig4Cluster runs the dedicated-cluster reference trial (Figure 4's dashed
+// line).
+func Fig4Cluster(seed int64, scale float64) Fig4TrialResult {
+	cl := core.New(core.DedicatedClusterConfig(seed))
+	res := cl.RunWorkload(sched(seed, scale))
+	return Fig4TrialResult{Response: res.ResponseTime, Completed: len(res.JobResponses)}
+}
+
+// Fig4Trial runs one (pool size, seed) sampling point: reach the target
+// size under stable churn, then upload data and run (the paper's §IV.B
+// procedure).
+func Fig4Trial(nodes int, seed int64, scale float64) Fig4TrialResult {
+	sys := core.New(core.HOGConfig(nodes, grid.ChurnStable, seed))
+	res := sys.RunWorkload(sched(seed, scale))
+	return Fig4TrialResult{Response: res.ResponseTime, Completed: len(res.JobResponses)}
+}
+
+// Fig4 sweeps HOG pool sizes against the dedicated cluster (several runs per
+// sampling point).
 func Fig4(opts Options) Fig4Result {
-	opts = opts.withDefaults()
-	if len(opts.Nodes) == 0 {
-		opts.Nodes = Full().Nodes
-	}
+	opts = opts.WithDefaults()
 	res := Fig4Result{Crossover: -1}
-	cl := core.New(core.DedicatedClusterConfig(opts.Seeds[0]))
-	res.Cluster = cl.RunWorkload(sched(opts.Seeds[0], opts.Scale)).ResponseTime
+	res.Cluster = Fig4Cluster(opts.Seeds[0], opts.Scale).Response
 	for _, n := range opts.Nodes {
 		p := Fig4Point{Nodes: n}
 		var sum sim.Time
+		var secs []float64
 		for _, seed := range opts.Seeds {
-			sys := core.New(core.HOGConfig(n, grid.ChurnStable, seed))
-			r := sys.RunWorkload(sched(seed, opts.Scale))
-			p.Responses = append(p.Responses, r.ResponseTime)
-			sum += r.ResponseTime
+			resp := Fig4Trial(n, seed, opts.Scale).Response
+			p.Responses = append(p.Responses, resp)
+			secs = append(secs, resp.Seconds())
+			sum += resp
 		}
 		p.Mean = sum / sim.Time(len(opts.Seeds))
+		p.Summary = metrics.SummarizeFloats(secs)
 		res.Points = append(res.Points, p)
 		if res.Crossover < 0 && p.Mean <= res.Cluster {
 			res.Crossover = n
@@ -203,6 +273,23 @@ func PrintFig4(w io.Writer, opts Options) {
 
 // ---------------------------------------------------------- Figure 5 / T IV
 
+// FluctuationCase identifies one Figure 5 sub-figure's configuration.
+type FluctuationCase struct {
+	Label string
+	Churn grid.ChurnProfile
+	Seed  int64
+}
+
+// FluctuationCases returns the three 55-node executions of Figure 5: two
+// stable, one unstable.
+func FluctuationCases() []FluctuationCase {
+	return []FluctuationCase{
+		{"5a (55 stable nodes)", grid.ChurnStable, 31},
+		{"5b (55 stable nodes)", grid.ChurnStable, 32},
+		{"5c (55 unstable nodes)", grid.ChurnUnstable, 31},
+	}
+}
+
 // FluctuationRun is one Figure 5 sub-figure with its Table IV row.
 type FluctuationRun struct {
 	Label    string
@@ -213,31 +300,27 @@ type FluctuationRun struct {
 	End      sim.Time
 }
 
-// Fig5Table4 performs the three 55-node executions: two stable, one
-// unstable, reporting response time and area beneath the availability curve.
-func Fig5Table4(opts Options) []FluctuationRun {
-	opts = opts.withDefaults()
-	runs := []struct {
-		label string
-		churn grid.ChurnProfile
-		seed  int64
-	}{
-		{"5a (55 stable nodes)", grid.ChurnStable, 31},
-		{"5b (55 stable nodes)", grid.ChurnStable, 32},
-		{"5c (55 unstable nodes)", grid.ChurnUnstable, 31},
+// FluctuationTrial performs one Figure 5 execution, reporting response time
+// and area beneath the availability curve.
+func FluctuationTrial(c FluctuationCase, scale float64) FluctuationRun {
+	sys := core.New(core.HOGConfig(55, c.Churn, c.Seed))
+	res := sys.RunWorkload(sched(7, scale))
+	return FluctuationRun{
+		Label:    c.Label,
+		Response: res.ResponseTime,
+		Area:     res.Area,
+		Series:   res.Reported,
+		Start:    res.Start,
+		End:      res.End,
 	}
+}
+
+// Fig5Table4 performs the three 55-node executions.
+func Fig5Table4(opts Options) []FluctuationRun {
+	opts = opts.WithDefaults()
 	var out []FluctuationRun
-	for _, rn := range runs {
-		sys := core.New(core.HOGConfig(55, rn.churn, rn.seed))
-		res := sys.RunWorkload(sched(7, opts.Scale))
-		out = append(out, FluctuationRun{
-			Label:    rn.label,
-			Response: res.ResponseTime,
-			Area:     res.Area,
-			Series:   res.Reported,
-			Start:    res.Start,
-			End:      res.End,
-		})
+	for _, c := range FluctuationCases() {
+		out = append(out, FluctuationTrial(c, opts.Scale))
 	}
 	return out
 }

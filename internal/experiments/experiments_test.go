@@ -136,6 +136,47 @@ func TestHODComparisonShape(t *testing.T) {
 	}
 }
 
+func TestRunTables(t *testing.T) {
+	r1 := RunTable1()
+	if r1.Jobs != 88 || len(r1.Bins) == 0 || r1.SpanSeconds <= 0 {
+		t.Fatalf("Table1 result %+v", r1)
+	}
+	r2 := RunTable2()
+	if r2.TotalJobs != 88 || r2.TotalMaps != 2410 || len(r2.Bins) != 6 {
+		t.Fatalf("Table2 result %+v", r2)
+	}
+}
+
+func TestWithDefaultsNodes(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Scale != 1.0 || len(o.Seeds) != 3 {
+		t.Fatalf("defaults %+v", o)
+	}
+	if len(o.Nodes) != 12 {
+		t.Fatalf("Nodes not defaulted centrally: %v", o.Nodes)
+	}
+	// Explicit fields survive.
+	o = Options{Scale: 0.5, Seeds: []int64{9}, Nodes: []int{7}}.WithDefaults()
+	if o.Scale != 0.5 || o.Seeds[0] != 9 || len(o.Nodes) != 1 || o.Nodes[0] != 7 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+}
+
+func TestFig4TrialAtom(t *testing.T) {
+	// The per-trial atom must agree with the composed sweep.
+	trial := Fig4Trial(20, 1, 0.1)
+	if trial.Completed <= 0 {
+		t.Fatalf("trial completed %d jobs", trial.Completed)
+	}
+	r := Fig4(tiny())
+	if r.Points[0].Responses[0] != trial.Response {
+		t.Fatalf("Fig4Trial (%v) != Fig4 point response (%v)", trial.Response, r.Points[0].Responses[0])
+	}
+	if r.Points[0].Summary.N != 1 || r.Points[0].Summary.Mean != trial.Response.Seconds() {
+		t.Fatalf("point summary %+v", r.Points[0].Summary)
+	}
+}
+
 func TestQuickAndFullPresets(t *testing.T) {
 	q, f := Quick(), Full()
 	if q.Scale >= f.Scale {

@@ -26,7 +26,7 @@ type LargeGridResult struct {
 // the incremental flow rebalancer (thousands of concurrent flows sharing
 // twelve WAN uplinks).
 func LargeGrid(opts Options) LargeGridResult {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	target := 1000
 	sys := core.New(core.LargeGridConfig(target, grid.ChurnStable, opts.Seeds[0]))
 	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))

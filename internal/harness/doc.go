@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hog/internal/experiments"
+	"hog/internal/metrics"
+)
+
+// Schema identifies the results-document format; bump SchemaVersion on any
+// incompatible change so CI trackers can reject documents they don't
+// understand.
+const (
+	Schema        = "hog-results"
+	SchemaVersion = 1
+)
+
+// OptionsDoc records the matrix inputs the document was produced from.
+type OptionsDoc struct {
+	Scale float64 `json:"scale"`
+	Seeds []int64 `json:"seeds"`
+	Nodes []int   `json:"nodes"`
+}
+
+// Aggregate summarizes one point's metrics across its trials (seeds).
+type Aggregate struct {
+	Point   string                          `json:"point"`
+	Metrics map[string]metrics.FloatSummary `json:"metrics"`
+}
+
+// ExperimentResults groups one experiment's trials and per-point aggregates.
+type ExperimentResults struct {
+	ID          string        `json:"id"`
+	Description string        `json:"description"`
+	Trials      []TrialResult `json:"trials"`
+	Aggregates  []Aggregate   `json:"aggregates"`
+}
+
+// Doc is the versioned results document. It deliberately carries no
+// wall-clock timestamps or worker counts: for a fixed seed set the document
+// is bit-identical however it was produced (sequential, parallel, CI,
+// benchmark). Timing belongs on stderr and in CI logs, not in the artifact.
+type Doc struct {
+	Schema        string              `json:"schema"`
+	SchemaVersion int                 `json:"schema_version"`
+	Options       OptionsDoc          `json:"options"`
+	Experiments   []ExperimentResults `json:"experiments"`
+}
+
+// BuildDoc assembles the document from executed trials, grouping by spec in
+// spec order and aggregating per point across seeds.
+func BuildDoc(specs []Spec, opts experiments.Options, results []TrialResult) *Doc {
+	opts = opts.WithDefaults()
+	doc := &Doc{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		Options:       OptionsDoc{Scale: opts.Scale, Seeds: opts.Seeds, Nodes: opts.Nodes},
+	}
+	byExp := map[string][]TrialResult{}
+	for _, r := range results {
+		byExp[r.Experiment] = append(byExp[r.Experiment], r)
+	}
+	for _, s := range specs {
+		rs := byExp[s.ID]
+		doc.Experiments = append(doc.Experiments, ExperimentResults{
+			ID:          s.ID,
+			Description: s.Desc,
+			Trials:      rs,
+			Aggregates:  aggregate(rs),
+		})
+	}
+	return doc
+}
+
+// aggregate groups trials by point (in first-seen order) and summarizes
+// every metric across the group's trials.
+func aggregate(rs []TrialResult) []Aggregate {
+	var order []string
+	byPoint := map[string][]TrialResult{}
+	for _, r := range rs {
+		if _, ok := byPoint[r.Point]; !ok {
+			order = append(order, r.Point)
+		}
+		byPoint[r.Point] = append(byPoint[r.Point], r)
+	}
+	var out []Aggregate
+	for _, point := range order {
+		group := byPoint[point]
+		keys := map[string][]float64{}
+		for _, r := range group {
+			for k, v := range r.Metrics {
+				keys[k] = append(keys[k], v)
+			}
+		}
+		agg := Aggregate{Point: point, Metrics: map[string]metrics.FloatSummary{}}
+		for k, vs := range keys {
+			agg.Metrics[k] = metrics.SummarizeFloats(vs)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// WriteJSON serializes the document as stable, indented JSON. Map keys
+// marshal sorted, so the bytes are a deterministic function of the trial
+// results alone.
+func (d *Doc) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteText renders the document as a compact generic table: one line per
+// trial plus per-point mean/min/max/std where points have repetitions.
+func (d *Doc) WriteText(w io.Writer) {
+	for _, e := range d.Experiments {
+		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Description)
+		for _, t := range e.Trials {
+			fmt.Fprintf(w, "%-28s seed=%-3d %s\n", t.Point, t.Seed, formatMetrics(t.Metrics))
+		}
+		for _, a := range e.Aggregates {
+			sum, ok := a.Metrics["response_s"]
+			if !ok || sum.N < 2 {
+				continue
+			}
+			fmt.Fprintf(w, "%-28s response_s mean=%.0f min=%.0f max=%.0f std=%.1f (n=%d)\n",
+				a.Point+" (agg)", sum.Mean, sum.Min, sum.Max, sum.Std, sum.N)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func formatMetrics(m Metrics) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.6g", k, m[k])
+	}
+	return out
+}
+
+// RunSuite expands the named experiments, executes them on workers
+// goroutines, and returns the assembled document: the one-call entry point
+// cmd/hogbench, bench_test.go, and the hog facade share.
+func RunSuite(ctx context.Context, ids []string, opts experiments.Options, workers int) (*Doc, error) {
+	specs, err := Select(ids...)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
+	trials := Expand(specs, opts)
+	results, err := RunContext(ctx, trials, workers)
+	if err != nil {
+		return nil, err
+	}
+	return BuildDoc(specs, opts, results), nil
+}

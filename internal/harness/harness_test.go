@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hog/internal/experiments"
+)
+
+// tinyOpts keeps simulation trials cheap enough for unit tests.
+func tinyOpts() experiments.Options {
+	return experiments.Options{Scale: 0.1, Seeds: []int64{1, 2}, Nodes: []int{20, 40}}
+}
+
+// docBytes runs ids at the given worker count and returns the JSON document.
+func docBytes(t *testing.T, ids []string, opts experiments.Options, workers int) []byte {
+	t.Helper()
+	doc, err := RunSuite(context.Background(), ids, opts, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSequentialParallelEquivalence is the harness's determinism contract:
+// for a fixed seed set, the JSON document must be byte-identical whether
+// trials ran on one worker or many.
+func TestSequentialParallelEquivalence(t *testing.T) {
+	ids := []string{"table1", "table2", "table3", "fig4", "fig5", "hod"}
+	opts := tinyOpts()
+	seq := docBytes(t, ids, opts, 1)
+	par := docBytes(t, ids, opts, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel document differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if !json.Valid(seq) {
+		t.Fatal("document is not valid JSON")
+	}
+	var doc Doc
+	if err := json.Unmarshal(seq, &doc); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if doc.Schema != Schema || doc.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema header = %q v%d", doc.Schema, doc.SchemaVersion)
+	}
+	if len(doc.Experiments) != len(ids) {
+		t.Fatalf("experiments = %d, want %d", len(doc.Experiments), len(ids))
+	}
+	// fig4 at 2 nodes x 2 seeds plus the cluster reference.
+	for _, e := range doc.Experiments {
+		if e.ID == "fig4" && len(e.Trials) != 5 {
+			t.Fatalf("fig4 trials = %d, want 5", len(e.Trials))
+		}
+	}
+}
+
+// syntheticTrials builds n instrumented trials that record pool concurrency.
+func syntheticTrials(n int, cur, max *int64, ran *int64) []Trial {
+	trials := make([]Trial, n)
+	for i := range trials {
+		i := i
+		trials[i] = Trial{
+			Experiment: "synthetic", Point: "p", Seed: int64(i),
+			run: func() Metrics {
+				c := atomic.AddInt64(cur, 1)
+				for {
+					m := atomic.LoadInt64(max)
+					if c <= m || atomic.CompareAndSwapInt64(max, m, c) {
+						break
+					}
+				}
+				time.Sleep(10 * time.Millisecond)
+				atomic.AddInt64(cur, -1)
+				atomic.AddInt64(ran, 1)
+				return Metrics{"i": float64(i)}
+			},
+		}
+	}
+	return trials
+}
+
+// TestWorkerPoolLimit asserts the pool never exceeds its worker bound and
+// still executes and places every trial.
+func TestWorkerPoolLimit(t *testing.T) {
+	var cur, max, ran int64
+	trials := syntheticTrials(12, &cur, &max, &ran)
+	results := Run(trials, 3)
+	if got := atomic.LoadInt64(&max); got > 3 {
+		t.Fatalf("observed %d concurrent trials, want <= 3", got)
+	}
+	if ran != 12 || len(results) != 12 {
+		t.Fatalf("ran %d trials, got %d results, want 12", ran, len(results))
+	}
+	for i, r := range results {
+		if r.Metrics["i"] != float64(i) {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+	// Degenerate worker counts clamp instead of misbehaving.
+	atomic.StoreInt64(&ran, 0)
+	if got := Run(syntheticTrials(2, &cur, &max, &ran), 0); len(got) != 2 {
+		t.Fatalf("workers=0 returned %d results", len(got))
+	}
+	if got := Run(nil, 4); len(got) != 0 {
+		t.Fatalf("empty trial list returned %d results", len(got))
+	}
+}
+
+// TestCancellation checks that canceling the context stops the pool after
+// the in-flight trials and surfaces the context error.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int64
+	var once sync.Once
+	trials := make([]Trial, 16)
+	for i := range trials {
+		trials[i] = Trial{
+			Experiment: "synthetic", Point: "p",
+			run: func() Metrics {
+				once.Do(cancel) // first trial to run cancels the suite
+				atomic.AddInt64(&ran, 1)
+				time.Sleep(5 * time.Millisecond)
+				return Metrics{}
+			},
+		}
+	}
+	results, err := RunContext(ctx, trials, 2)
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if results != nil {
+		t.Fatal("canceled run returned results")
+	}
+	if got := atomic.LoadInt64(&ran); got >= 16 {
+		t.Fatalf("cancel did not stop the pool: %d/16 trials ran", got)
+	}
+}
+
+// TestAggregates verifies the per-point mean/min/max/std math across seeds.
+func TestAggregates(t *testing.T) {
+	results := []TrialResult{
+		{Experiment: "x", Point: "a", Seed: 1, Metrics: Metrics{"response_s": 10}},
+		{Experiment: "x", Point: "a", Seed: 2, Metrics: Metrics{"response_s": 14}},
+		{Experiment: "x", Point: "b", Seed: 1, Metrics: Metrics{"response_s": 7}},
+	}
+	doc := BuildDoc([]Spec{{ID: "x", Desc: "synthetic"}}, tinyOpts(), results)
+	if len(doc.Experiments) != 1 || len(doc.Experiments[0].Aggregates) != 2 {
+		t.Fatalf("doc shape: %+v", doc.Experiments)
+	}
+	a := doc.Experiments[0].Aggregates[0]
+	if a.Point != "a" {
+		t.Fatalf("first aggregate point = %q (insertion order lost)", a.Point)
+	}
+	s := a.Metrics["response_s"]
+	if s.N != 2 || s.Mean != 12 || s.Min != 10 || s.Max != 14 || math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("aggregate = %+v", s)
+	}
+}
+
+// TestSelect covers id resolution: all, aliases, duplicates, unknowns.
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Specs()) {
+		t.Fatalf("all -> %d specs, err=%v", len(all), err)
+	}
+	alias, err := Select("table4")
+	if err != nil || len(alias) != 1 || alias[0].ID != "fig5" {
+		t.Fatalf("table4 alias -> %+v, err=%v", alias, err)
+	}
+	dup, err := Select("fig4", "fig4", "fig5")
+	if err != nil || len(dup) != 2 {
+		t.Fatalf("duplicate ids -> %d specs, err=%v", len(dup), err)
+	}
+	if _, err := Select("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := Select(); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+// TestExpandMatrixShape checks the experiment x seed x nodes expansion.
+func TestExpandMatrixShape(t *testing.T) {
+	specs, _ := Select("fig4")
+	trials := Expand(specs, tinyOpts())
+	if len(trials) != 5 { // cluster + 2 nodes x 2 seeds
+		t.Fatalf("fig4 trials = %d, want 5", len(trials))
+	}
+	seen := map[string]int{}
+	for _, tr := range trials {
+		seen[tr.Point]++
+		if tr.Scale != 0.1 {
+			t.Fatalf("trial scale = %v", tr.Scale)
+		}
+	}
+	if seen["cluster"] != 1 || seen["nodes=20"] != 2 || seen["nodes=40"] != 2 {
+		t.Fatalf("points = %v", seen)
+	}
+	// Defaults flow through Expand centrally.
+	defTrials := Expand(specs, experiments.Options{Scale: 0.1, Seeds: []int64{1}})
+	if len(defTrials) != 1+12 {
+		t.Fatalf("defaulted fig4 trials = %d, want 13 (paper's 12 points + cluster)", len(defTrials))
+	}
+}
+
+// TestWriteText smoke-checks the generic table renderer.
+func TestWriteText(t *testing.T) {
+	doc, err := RunSuite(context.Background(), []string{"table2"}, tinyOpts(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	doc.WriteText(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("table2")) || !bytes.Contains(buf.Bytes(), []byte("total_map_tasks")) {
+		t.Fatalf("text output missing content:\n%s", buf.String())
+	}
+}

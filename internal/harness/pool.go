@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"context"
+	"sync"
+)
+
+// Run executes trials across a bounded worker pool and returns the results
+// in trial order. workers <= 1 runs sequentially. Each trial's System is
+// self-contained and deterministic per seed, so the returned slice is
+// identical for any worker count.
+func Run(trials []Trial, workers int) []TrialResult {
+	out, _ := RunContext(context.Background(), trials, workers)
+	return out
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, in-flight
+// trials finish but no further trials start, and ctx's error is returned.
+func RunContext(ctx context.Context, trials []Trial, workers int) ([]TrialResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	results := make([]TrialResult, len(trials))
+	if workers <= 1 {
+		for i, t := range trials {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[i] = t.Run()
+		}
+		return results, nil
+	}
+
+	// Feed trial indices to the pool; each worker writes its result into the
+	// slot the index names, so output order never depends on scheduling.
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range trials {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Drain but don't run once canceled, so a cancel takes
+				// effect after the in-flight trials rather than after the
+				// whole queue.
+				if ctx.Err() == nil {
+					results[i] = trials[i].Run()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

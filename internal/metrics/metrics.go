@@ -192,3 +192,40 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
 		s.N, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }
+
+// FloatSummary holds the per-point statistics the experiment harness
+// aggregates across seeds: mean, extrema, and population standard deviation.
+type FloatSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Std  float64 `json:"std"`
+}
+
+// SummarizeFloats computes FloatSummary over a sample; an empty input yields
+// a zero summary.
+func SummarizeFloats(xs []float64) FloatSummary {
+	if len(xs) == 0 {
+		return FloatSummary{}
+	}
+	s := FloatSummary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sqdev float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sqdev += d * d
+	}
+	s.Std = math.Sqrt(sqdev / float64(len(xs)))
+	return s
+}

@@ -112,6 +112,24 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizeFloats(t *testing.T) {
+	if SummarizeFloats(nil).N != 0 {
+		t.Fatal("empty float summary should be zero")
+	}
+	s := SummarizeFloats([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Population stddev of the classic example is exactly 2.
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", s.Std)
+	}
+	one := SummarizeFloats([]float64{3.5})
+	if one.N != 1 || one.Mean != 3.5 || one.Min != 3.5 || one.Max != 3.5 || one.Std != 0 {
+		t.Fatalf("single-sample summary = %+v", one)
+	}
+}
+
 func TestASCIIPlot(t *testing.T) {
 	s := NewSeries("nodes")
 	s.Add(0, 55)
