@@ -55,6 +55,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"delay":     experiments.PrintDelayScheduling,
 	"hod":       experiments.PrintHODComparison,
 	"grid":      experiments.PrintLargeGrid,
+	"sched":     experiments.PrintSchedScale,
 }
 
 // runners derives the text-path registry from the harness spec registry,
@@ -79,6 +80,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale and single seed")
 	list := flag.Bool("list", false, "list experiment ids")
 	scale := flag.Float64("scale", 0, "override workload scale (0 = preset)")
+	scan := flag.Bool("scan", false, "force the linear-scan scheduler baseline (results must be bit-identical)")
 	parallel := flag.Int("parallel", 1, "worker pool size for the trial matrix")
 	jsonOut := flag.Bool("json", false, "emit the versioned JSON results document")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
@@ -99,6 +101,7 @@ func main() {
 	if *scale > 0 {
 		opts.Scale = *scale
 	}
+	opts.ScanScheduler = *scan
 
 	// Validate the id before touching -out, so a typo can't truncate a
 	// previous artifact.

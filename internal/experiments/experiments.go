@@ -29,6 +29,18 @@ type Options struct {
 	Seeds []int64
 	// Nodes overrides the Figure 4 sweep points.
 	Nodes []int
+	// ScanScheduler forces the retained linear-scan assignment path in every
+	// simulated system (hogbench -scan). The indexed and scan schedulers are
+	// bit-identical, so results documents must not differ — CI's
+	// scan-vs-indexed cmp gate enforces exactly that, which is also why this
+	// knob is deliberately absent from the JSON document's options block.
+	ScanScheduler bool
+}
+
+// tune applies the option-level knobs to a built core config.
+func (o Options) tune(cfg core.Config) core.Config {
+	cfg.MapRed.ScanScheduler = o.ScanScheduler
+	return cfg
 }
 
 // fig4Nodes returns the sampling points on the paper's Figure 4 x-axis.
@@ -161,7 +173,7 @@ type Table3Result struct {
 // workload response that forms Figure 4's dashed line.
 func Table3(opts Options) Table3Result {
 	opts = opts.WithDefaults()
-	sys := core.New(core.DedicatedClusterConfig(opts.Seeds[0]))
+	sys := core.New(opts.tune(core.DedicatedClusterConfig(opts.Seeds[0])))
 	r := Table3Result{}
 	for _, t := range sys.JT.AliveTrackers() {
 		r.Nodes++
@@ -208,19 +220,21 @@ type Fig4TrialResult struct {
 }
 
 // Fig4Cluster runs the dedicated-cluster reference trial (Figure 4's dashed
-// line).
-func Fig4Cluster(seed int64, scale float64) Fig4TrialResult {
-	cl := core.New(core.DedicatedClusterConfig(seed))
-	res := cl.RunWorkload(sched(seed, scale))
+// line) for the given seed.
+func Fig4Cluster(seed int64, opts Options) Fig4TrialResult {
+	opts = opts.WithDefaults()
+	cl := core.New(opts.tune(core.DedicatedClusterConfig(seed)))
+	res := cl.RunWorkload(sched(seed, opts.Scale))
 	return Fig4TrialResult{Response: res.ResponseTime, Completed: len(res.JobResponses)}
 }
 
 // Fig4Trial runs one (pool size, seed) sampling point: reach the target
 // size under stable churn, then upload data and run (the paper's §IV.B
 // procedure).
-func Fig4Trial(nodes int, seed int64, scale float64) Fig4TrialResult {
-	sys := core.New(core.HOGConfig(nodes, grid.ChurnStable, seed))
-	res := sys.RunWorkload(sched(seed, scale))
+func Fig4Trial(nodes int, seed int64, opts Options) Fig4TrialResult {
+	opts = opts.WithDefaults()
+	sys := core.New(opts.tune(core.HOGConfig(nodes, grid.ChurnStable, seed)))
+	res := sys.RunWorkload(sched(seed, opts.Scale))
 	return Fig4TrialResult{Response: res.ResponseTime, Completed: len(res.JobResponses)}
 }
 
@@ -229,13 +243,13 @@ func Fig4Trial(nodes int, seed int64, scale float64) Fig4TrialResult {
 func Fig4(opts Options) Fig4Result {
 	opts = opts.WithDefaults()
 	res := Fig4Result{Crossover: -1}
-	res.Cluster = Fig4Cluster(opts.Seeds[0], opts.Scale).Response
+	res.Cluster = Fig4Cluster(opts.Seeds[0], opts).Response
 	for _, n := range opts.Nodes {
 		p := Fig4Point{Nodes: n}
 		var sum sim.Time
 		var secs []float64
 		for _, seed := range opts.Seeds {
-			resp := Fig4Trial(n, seed, opts.Scale).Response
+			resp := Fig4Trial(n, seed, opts).Response
 			p.Responses = append(p.Responses, resp)
 			secs = append(secs, resp.Seconds())
 			sum += resp
@@ -302,9 +316,10 @@ type FluctuationRun struct {
 
 // FluctuationTrial performs one Figure 5 execution, reporting response time
 // and area beneath the availability curve.
-func FluctuationTrial(c FluctuationCase, scale float64) FluctuationRun {
-	sys := core.New(core.HOGConfig(55, c.Churn, c.Seed))
-	res := sys.RunWorkload(sched(7, scale))
+func FluctuationTrial(c FluctuationCase, opts Options) FluctuationRun {
+	opts = opts.WithDefaults()
+	sys := core.New(opts.tune(core.HOGConfig(55, c.Churn, c.Seed)))
+	res := sys.RunWorkload(sched(7, opts.Scale))
 	return FluctuationRun{
 		Label:    c.Label,
 		Response: res.ResponseTime,
@@ -320,7 +335,7 @@ func Fig5Table4(opts Options) []FluctuationRun {
 	opts = opts.WithDefaults()
 	var out []FluctuationRun
 	for _, c := range FluctuationCases() {
-		out = append(out, FluctuationTrial(c, opts.Scale))
+		out = append(out, FluctuationTrial(c, opts))
 	}
 	return out
 }

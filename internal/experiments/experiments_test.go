@@ -164,7 +164,7 @@ func TestWithDefaultsNodes(t *testing.T) {
 
 func TestFig4TrialAtom(t *testing.T) {
 	// The per-trial atom must agree with the composed sweep.
-	trial := Fig4Trial(20, 1, 0.1)
+	trial := Fig4Trial(20, 1, tiny())
 	if trial.Completed <= 0 {
 		t.Fatalf("trial completed %d jobs", trial.Completed)
 	}
@@ -174,6 +174,22 @@ func TestFig4TrialAtom(t *testing.T) {
 	}
 	if r.Points[0].Summary.N != 1 || r.Points[0].Summary.Mean != trial.Response.Seconds() {
 		t.Fatalf("point summary %+v", r.Points[0].Summary)
+	}
+}
+
+// TestSchedScaleEquivalence runs SCHED-SCALE at reduced scale: the indexed
+// and scan schedulers must agree bit-for-bit on the full 1000-node system —
+// same response time, same event count, same failures.
+func TestSchedScaleEquivalence(t *testing.T) {
+	rs := SchedScale(Options{Scale: 0.1, Seeds: []int64{1}})
+	if len(rs) != 2 || rs[0].Scan || !rs[1].Scan {
+		t.Fatalf("unexpected case shape: %+v", rs)
+	}
+	if rs[0].Response != rs[1].Response || rs[0].EventsFired != rs[1].EventsFired || rs[0].JobsFailed != rs[1].JobsFailed {
+		t.Fatalf("scheduler paths diverge at 1000 nodes:\nindexed: %+v\nscan:    %+v", rs[0], rs[1])
+	}
+	if rs[0].Response <= 0 {
+		t.Fatal("non-positive response time")
 	}
 }
 

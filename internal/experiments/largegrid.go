@@ -28,7 +28,7 @@ type LargeGridResult struct {
 func LargeGrid(opts Options) LargeGridResult {
 	opts = opts.WithDefaults()
 	target := 1000
-	sys := core.New(core.LargeGridConfig(target, grid.ChurnStable, opts.Seeds[0]))
+	sys := core.New(opts.tune(core.LargeGridConfig(target, grid.ChurnStable, opts.Seeds[0])))
 	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
 	out := LargeGridResult{
 		Target:       target,

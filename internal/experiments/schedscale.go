@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// SchedScaleCase is one SCHED-SCALE configuration: the same 1000-node
+// LARGE-GRID workload under the indexed scheduler or the retained scan
+// baseline.
+type SchedScaleCase struct {
+	Label string
+	Scan  bool
+}
+
+// SchedScaleCases returns the two scheduler paths.
+func SchedScaleCases() []SchedScaleCase {
+	return []SchedScaleCase{
+		{"indexed", false},
+		{"scan", true},
+	}
+}
+
+// SchedScaleResult is one scheduler path's outcome. The two paths must
+// report identical Response/JobsFailed/EventsFired for a fixed seed — that
+// is the schedulers' equivalence contract at system scale; only wall-clock
+// cost (measured by BenchmarkScheduler, not recorded here) may differ.
+type SchedScaleResult struct {
+	Label       string
+	Scan        bool
+	Nodes       int
+	Response    sim.Time
+	EventsFired uint64
+	JobsFailed  int
+}
+
+// SchedScaleTrial runs the Facebook workload on the twelve-site ~1000-node
+// preset under one scheduler path.
+func SchedScaleTrial(c SchedScaleCase, opts Options) SchedScaleResult {
+	opts = opts.WithDefaults()
+	const nodes = 1000
+	cfg := core.LargeGridConfig(nodes, grid.ChurnStable, opts.Seeds[0])
+	cfg.MapRed.ScanScheduler = c.Scan
+	sys := core.New(cfg)
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	return SchedScaleResult{
+		Label:       c.Label,
+		Scan:        c.Scan,
+		Nodes:       nodes,
+		Response:    res.ResponseTime,
+		EventsFired: sys.Eng.Fired(),
+		JobsFailed:  res.JobsFailed,
+	}
+}
+
+// SchedScale runs SCHED-SCALE under both scheduler paths.
+func SchedScale(opts Options) []SchedScaleResult {
+	var out []SchedScaleResult
+	for _, c := range SchedScaleCases() {
+		out = append(out, SchedScaleTrial(c, opts))
+	}
+	return out
+}
+
+// PrintSchedScale prints SCHED-SCALE and flags any divergence between the
+// paths, which would break the equivalence contract.
+func PrintSchedScale(w io.Writer, opts Options) {
+	rs := SchedScale(opts)
+	fmt.Fprintln(w, "SCHED-SCALE: indexed vs scan-path scheduler at ~1000 nodes")
+	fmt.Fprintln(w, "Scheduler  Response(s)  Events      JobsFailed")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-9s  %11.0f  %10d  %10d\n", r.Label, r.Response.Seconds(), r.EventsFired, r.JobsFailed)
+	}
+	if rs[0].Response == rs[1].Response && rs[0].EventsFired == rs[1].EventsFired && rs[0].JobsFailed == rs[1].JobsFailed {
+		fmt.Fprintln(w, "paths agree bit-for-bit (equivalence contract holds)")
+	} else {
+		fmt.Fprintln(w, "WARNING: scheduler paths diverge — equivalence contract broken")
+	}
+}

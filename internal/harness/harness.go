@@ -86,6 +86,7 @@ func Specs() []Spec {
 		{"delay", "A-DELAY: FIFO vs delay scheduling", expandDelay},
 		{"hod", "A-HOD: Hadoop On Demand baseline", expandHOD},
 		{"grid", "LARGE-GRID: ~1000 nodes across 12 sites", expandLargeGrid},
+		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
 	}
 }
 
@@ -200,7 +201,7 @@ func expandFig4(opts experiments.Options) []Trial {
 	trials := []Trial{{
 		Experiment: "fig4", Point: "cluster", Seed: opts.Seeds[0], Nodes: 30, Scale: opts.Scale,
 		run: func() Metrics {
-			return fig4Metrics(experiments.Fig4Cluster(opts.Seeds[0], opts.Scale))
+			return fig4Metrics(experiments.Fig4Cluster(opts.Seeds[0], opts))
 		},
 	}}
 	for _, n := range opts.Nodes {
@@ -210,7 +211,7 @@ func expandFig4(opts experiments.Options) []Trial {
 				Experiment: "fig4", Point: fmt.Sprintf("nodes=%d", n),
 				Seed: seed, Nodes: n, Scale: opts.Scale,
 				run: func() Metrics {
-					return fig4Metrics(experiments.Fig4Trial(n, seed, opts.Scale))
+					return fig4Metrics(experiments.Fig4Trial(n, seed, opts))
 				},
 			})
 		}
@@ -225,7 +226,7 @@ func expandFig5(opts experiments.Options) []Trial {
 		trials = append(trials, Trial{
 			Experiment: "fig5", Point: c.Label, Seed: c.Seed, Nodes: 55, Scale: opts.Scale,
 			run: func() Metrics {
-				r := experiments.FluctuationTrial(c, opts.Scale)
+				r := experiments.FluctuationTrial(c, opts)
 				return Metrics{
 					"response_s":  r.Response.Seconds(),
 					"area_node_s": r.Area,
@@ -394,6 +395,7 @@ func expandHOD(opts experiments.Options) []Trial {
 				return Metrics{
 					"response_s":       r.Response.Seconds(),
 					"reconstruction_s": r.Reconstruction.Seconds(),
+					"timed_out":        float64(r.TimedOut),
 				}
 			},
 		})
@@ -415,4 +417,23 @@ func expandLargeGrid(opts experiments.Options) []Trial {
 			}
 		},
 	}}
+}
+
+func expandSched(opts experiments.Options) []Trial {
+	var trials []Trial
+	for _, c := range experiments.SchedScaleCases() {
+		c := c
+		trials = append(trials, Trial{
+			Experiment: "sched", Point: c.Label, Seed: opts.Seeds[0], Nodes: 1000, Scale: opts.Scale,
+			run: func() Metrics {
+				r := experiments.SchedScaleTrial(c, opts)
+				return Metrics{
+					"response_s":   r.Response.Seconds(),
+					"events_fired": float64(r.EventsFired),
+					"jobs_failed":  float64(r.JobsFailed),
+				}
+			},
+		})
+	}
+	return trials
 }

@@ -39,22 +39,39 @@ func (nn *Namenode) BalanceOnce(threshold float64, maxMoves int) int {
 		return all[i].d.ID < all[j].d.ID
 	})
 	moves := 0
-	for _, over := range all {
+	for oi := range all {
+		over := &all[oi]
 		if moves >= maxMoves || over.u <= mean+threshold {
-			continue
+			// The list is sorted by descending utilisation and scheduled
+			// moves only lower the entries above this one, so nothing further
+			// down can still be over-full.
+			break
 		}
-		// Move blocks from the tail (most underutilised) upward.
-		for i := len(all) - 1; i >= 0 && moves < maxMoves; i-- {
-			under := all[i]
+		// Move blocks from the tail (most underutilised) upward, keeping the
+		// working utilisations current as moves are scheduled: without the
+		// adjustment one round kept draining the same over-full node against
+		// its stale pre-round utilisation and overshot both endpoints.
+		for i := len(all) - 1; i > oi && moves < maxMoves && over.u > mean+threshold; i-- {
+			under := &all[i]
 			if under.u >= mean-threshold {
-				break
+				// Skip rather than stop: scheduled moves may have pumped this
+				// tail entry into the band while entries further up are still
+				// under-full, so ascending order no longer holds here.
+				continue
 			}
 			bid, ok := nn.pickMovableBlock(over.d, under.d)
 			if !ok {
 				continue
 			}
+			size := nn.blocks[bid].Size
 			if nn.startMove(bid, over.d.ID, under.d.ID) {
 				moves++
+				if c := nn.disk.Capacity(over.d.ID); c > 0 {
+					over.u -= size / c
+				}
+				if c := nn.disk.Capacity(under.d.ID); c > 0 {
+					under.u += size / c
+				}
 			}
 		}
 	}
@@ -114,7 +131,7 @@ func (nn *Namenode) startMove(bid BlockID, src, dst netmodel.NodeID) bool {
 		// target without it.
 		if sd, ok := nn.datanodes[src]; ok {
 			if _, has := b.replicas[src]; has && len(b.replicas) > nn.targetReplication(b) {
-				delete(b.replicas, src)
+				nn.dropReplica(b, src)
 				delete(sd.blocks, bid)
 				nn.disk.Release(src, b.Size)
 			}

@@ -82,7 +82,7 @@ func (nn *Namenode) checkDecommission(id netmodel.NodeID) {
 		if b == nil {
 			continue
 		}
-		delete(b.replicas, id)
+		nn.dropReplica(b, id)
 		nn.disk.Release(id, b.Size)
 	}
 	d.blocks = make(map[BlockID]struct{})

@@ -176,6 +176,13 @@ type Namenode struct {
 	OnDatanodeDead func(id netmodel.NodeID)
 	// OnBlockLost is invoked when the last replica of a block disappears.
 	OnBlockLost func(b *BlockInfo)
+	// OnPlacementChange is invoked after a block replica appears on (added)
+	// or disappears from (removed) a datanode — replication, writes,
+	// balancer moves, decommission drains, node death, file deletion. The
+	// MapReduce scheduler index subscribes to keep its per-node and per-site
+	// pending-task sets in sync with block placement; NewJobTracker chains
+	// onto any previously installed callback.
+	OnPlacementChange func(bid BlockID, node netmodel.NodeID, added bool)
 
 	checker *sim.Ticker
 }
@@ -305,7 +312,7 @@ func (nn *Namenode) markDead(d *DatanodeInfo) {
 	sort.Slice(bids, func(i, j int) bool { return bids[i] < bids[j] })
 	for _, bid := range bids {
 		b := nn.blocks[bid]
-		delete(b.replicas, d.ID)
+		nn.dropReplica(b, d.ID)
 		if len(b.replicas) == 0 && len(b.pending) == 0 {
 			nn.loseBlock(b)
 			continue

@@ -1,6 +1,7 @@
 package hdfs
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -418,6 +419,99 @@ func TestBalancerReducesSpread(t *testing.T) {
 	}
 	if moved == 0 {
 		t.Fatal("no data moved to fresh nodes")
+	}
+}
+
+// TestBalanceOnceNoOvershoot is the regression test for the stale-utilization
+// bug: BalanceOnce computed per-node utilizations once per round and never
+// adjusted them as moves were scheduled, so with one fresh node and many
+// equally over-full sources, every source shipped it a block (15 moves, the
+// destination overshooting far past the mean). With src/dst utilizations
+// updated incrementally after each startMove, the round stops as soon as the
+// destination enters the balance band (~5 moves here).
+func TestBalanceOnceNoOvershoot(t *testing.T) {
+	h := newHarness(t, 18, 3, Config{Replication: 1, SiteAware: false})
+	// Deterministic skew: funnel 5 blocks onto each node in turn by starving
+	// every other node's capacity during its seeding round.
+	for _, id := range h.all {
+		for _, other := range h.all {
+			if other == id {
+				h.dt.SetCapacity(other, 1e9)
+			} else {
+				h.dt.SetCapacity(other, 1e6)
+			}
+		}
+		h.nn.SeedFile(fmt.Sprintf("/skew%d", id), 5*DefaultBlockSize, 1)
+	}
+	for _, id := range h.all {
+		h.dt.SetCapacity(id, 1e9)
+		if h.dt.Used(id) != 5*DefaultBlockSize {
+			t.Fatalf("node %d holds %.0f bytes, want exactly 5 blocks", id, h.dt.Used(id))
+		}
+	}
+	// One fresh empty node: utilizations are 15 x 0.32 plus one 0, mean 0.3.
+	fresh := h.net.AddNode(h.net.SiteOf(h.all[0]), "fresh.fnal.gov")
+	h.dt.SetCapacity(fresh, 1e9)
+	h.nn.Register(fresh, "fresh.fnal.gov")
+	h.all = append(h.all, fresh)
+	tk := h.heartbeatAll(nil)
+	defer tk.Stop()
+
+	moves := h.nn.BalanceOnce(0.01, 100)
+	if moves == 0 {
+		t.Fatal("balancer made no moves on an imbalanced cluster")
+	}
+	if moves > 6 {
+		t.Fatalf("balancer scheduled %d moves into one fresh node (stale-utilization overshoot); want <= 6", moves)
+	}
+	h.eng.RunUntil(30 * sim.Minute)
+	if u := h.dt.Utilization(fresh); u > 0.5 {
+		t.Fatalf("fresh node at %.2f utilization after one round; overshot the balance band", u)
+	}
+}
+
+// TestBalancePumpedDestinationDoesNotHaltRound: once utilizations update
+// in-round, the under-full tail is no longer sorted — a small-capacity
+// destination pumped into the band after one block must be skipped, not
+// treated as the end of the under-full list, or every remaining source
+// stops moving and a second still-empty destination never fills.
+func TestBalancePumpedDestinationDoesNotHaltRound(t *testing.T) {
+	h := newHarness(t, 19, 3, Config{Replication: 1, SiteAware: false})
+	for _, id := range h.all {
+		for _, other := range h.all {
+			if other == id {
+				h.dt.SetCapacity(other, 1e9)
+			} else {
+				h.dt.SetCapacity(other, 1e6)
+			}
+		}
+		h.nn.SeedFile(fmt.Sprintf("/pump%d", id), 5*DefaultBlockSize, 1)
+	}
+	for _, id := range h.all {
+		h.dt.SetCapacity(id, 1e9)
+	}
+	// Two empty destinations: big first, then the tiny one, which gets the
+	// higher ID and therefore sorts to the very tail among the zeros. One
+	// block pumps the tiny node straight past the band.
+	big := h.net.AddNode(h.net.SiteOf(h.all[0]), "big.fnal.gov")
+	h.dt.SetCapacity(big, 1e9)
+	h.nn.Register(big, "big.fnal.gov")
+	tiny := h.net.AddNode(h.net.SiteOf(h.all[0]), "tiny.fnal.gov")
+	h.dt.SetCapacity(tiny, 0.2e9)
+	h.nn.Register(tiny, "tiny.fnal.gov")
+	h.all = append(h.all, big, tiny)
+	tk := h.heartbeatAll(nil)
+	defer tk.Stop()
+
+	moves := h.nn.BalanceOnce(0.01, 100)
+	// The tiny node absorbs one block; the big one must still fill toward
+	// the mean (~5 more) instead of the round halting at the pumped entry.
+	if moves < 4 {
+		t.Fatalf("round stalled after the pumped destination: %d moves", moves)
+	}
+	h.eng.RunUntil(30 * sim.Minute)
+	if h.dt.Used(big) == 0 {
+		t.Fatal("big destination received no blocks; pumped tail entry halted the round")
 	}
 }
 

@@ -70,13 +70,20 @@ func (nn *Namenode) DeleteFile(name string) {
 	}
 	for _, bid := range f.Blocks {
 		b := nn.blocks[bid]
+		// Sort before dropping so the placement hook fires in a
+		// deterministic order (as markDead does for its victims).
+		ids := make([]netmodel.NodeID, 0, len(b.replicas))
 		for id := range b.replicas {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			if d, ok := nn.datanodes[id]; ok {
 				delete(d.blocks, bid)
 			}
 			nn.disk.Release(id, b.Size)
+			nn.dropReplica(b, id)
 		}
-		b.replicas = make(map[netmodel.NodeID]struct{})
 		delete(nn.replQueued, bid)
 		delete(nn.blocks, bid)
 	}
@@ -88,9 +95,26 @@ func (nn *Namenode) addReplica(b *BlockInfo, id netmodel.NodeID) {
 	if !ok || !d.Alive {
 		return
 	}
+	_, had := b.replicas[id]
 	b.replicas[id] = struct{}{}
 	b.lost = false
 	d.blocks[b.ID] = struct{}{}
+	if !had && nn.OnPlacementChange != nil {
+		nn.OnPlacementChange(b.ID, id, true)
+	}
+}
+
+// dropReplica removes the block->node replica record and fires the placement
+// hook. Callers own the datanode-side bookkeeping (d.blocks) and the disk
+// accounting, which differ per removal path.
+func (nn *Namenode) dropReplica(b *BlockInfo, id netmodel.NodeID) {
+	if _, ok := b.replicas[id]; !ok {
+		return
+	}
+	delete(b.replicas, id)
+	if nn.OnPlacementChange != nil {
+		nn.OnPlacementChange(b.ID, id, false)
+	}
 }
 
 // WriteFile writes a file of the given size from the node writer: each block

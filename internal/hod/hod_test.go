@@ -41,6 +41,31 @@ func TestHODRunsSchedule(t *testing.T) {
 	if res.ResponseTime <= sched.Span() {
 		t.Fatal("workload response time earlier than last submission")
 	}
+	if res.TimedOut != 0 {
+		t.Fatalf("%d small jobs flagged as timed out", res.TimedOut)
+	}
+}
+
+// TestHODTimeoutFlagged: a job that cannot finish inside the simulation cap
+// must be flagged TimedOut, not silently reported as a completed job whose
+// Runtime equals the cap (the old behaviour skewed the §V comparison).
+func TestHODTimeoutFlagged(t *testing.T) {
+	// 60 maps on a 2-slot ephemeral cluster needs ~48 min of map compute
+	// (96 s per 64 MB block at the default cost model); cap at 20 minutes.
+	sched := &workload.Schedule{Jobs: []workload.JobSpec{{
+		Name: "stuck", Bin: 6, Maps: 60, Reduces: 0, InputBytes: 60 * 64e6,
+	}}}
+	cfg := Config{
+		NodesPerJob: 2, Churn: grid.ChurnNone, StageRateBps: 200e6,
+		RunBound: 20 * sim.Minute, Seed: 5,
+	}
+	res := Run(sched, cfg)
+	if res.TimedOut != 1 || !res.Jobs[0].TimedOut {
+		t.Fatalf("timeout not flagged: doc=%d job=%v", res.TimedOut, res.Jobs[0].TimedOut)
+	}
+	if res.Jobs[0].Runtime < cfg.RunBound {
+		t.Fatalf("timed-out runtime %v below the %v cap", res.Jobs[0].Runtime, cfg.RunBound)
+	}
 }
 
 func TestHODOverheadDominatesSmallJobs(t *testing.T) {

@@ -50,6 +50,13 @@ type JobTracker struct {
 	active     int // running or pending jobs
 	attemptSeq int64
 
+	// activeList holds unfinished jobs in submission order; the indexed
+	// assignment path iterates it instead of re-skipping finished jobs.
+	activeList []*Job
+	// blockMaps maps an input block to the active map tasks reading it, for
+	// the namenode placement-change hook. Empty under Config.ScanScheduler.
+	blockMaps map[hdfs.BlockID][]*mapTask
+
 	// DiskUsable reports whether a node's scratch directory is readable and
 	// writable. Zombie datanodes (§IV.D.1) heartbeat while their working
 	// directory is gone; assignments to them fail fast. nil means always
@@ -69,15 +76,29 @@ type JobTracker struct {
 }
 
 // NewJobTracker creates a JobTracker; Start begins dead-tracker scanning.
+// The tracker subscribes to the namenode's placement-change hook (chaining
+// onto any existing subscriber) so the scheduler index follows replica
+// add/remove and node death.
 func NewJobTracker(eng *sim.Engine, net *netmodel.Network, nn *hdfs.Namenode, dt *disk.Tracker, cfg Config) *JobTracker {
-	return &JobTracker{
-		eng:      eng,
-		net:      net,
-		nn:       nn,
-		disk:     dt,
-		cfg:      cfg.withDefaults(),
-		trackers: make(map[netmodel.NodeID]*TaskTracker),
+	jt := &JobTracker{
+		eng:       eng,
+		net:       net,
+		nn:        nn,
+		disk:      dt,
+		cfg:       cfg.withDefaults(),
+		trackers:  make(map[netmodel.NodeID]*TaskTracker),
+		blockMaps: make(map[hdfs.BlockID][]*mapTask),
 	}
+	if nn != nil {
+		prev := nn.OnPlacementChange
+		nn.OnPlacementChange = func(bid hdfs.BlockID, node netmodel.NodeID, added bool) {
+			if prev != nil {
+				prev(bid, node, added)
+			}
+			jt.placementChanged(bid, node, added)
+		}
+	}
+	return jt
 }
 
 // Config returns the effective configuration.
@@ -168,6 +189,7 @@ func (jt *JobTracker) Submit(cfg JobConfig) *Job {
 	}
 	jt.jobs = append(jt.jobs, j)
 	jt.active++
+	jt.registerJobIndex(j)
 	// Kick the schedulers: idle trackers assign on their next heartbeat,
 	// which is at most one interval away, so nothing else is needed here.
 	return j
@@ -262,10 +284,20 @@ func (jt *JobTracker) markDead(t *TaskTracker) {
 			continue
 		}
 		for _, m := range j.maps {
-			m.ghosts = dropGhosts(m.ghosts, t.Node)
+			if before := len(m.ghosts); before > 0 {
+				m.ghosts = dropGhosts(m.ghosts, t.Node)
+				if len(m.ghosts) != before {
+					jt.noteMapTask(m)
+				}
+			}
 		}
 		for _, r := range j.reduces {
-			r.ghosts = dropGhosts(r.ghosts, t.Node)
+			if before := len(r.ghosts); before > 0 {
+				r.ghosts = dropGhosts(r.ghosts, t.Node)
+				if len(r.ghosts) != before {
+					jt.noteReduceTask(r)
+				}
+			}
 		}
 	}
 	// Re-execute completed maps whose output is gone — but only those some
@@ -322,6 +354,10 @@ func (jt *JobTracker) reExecuteMap(j *Job, m *mapTask) {
 	m.outputNode = -1
 	j.completedMaps--
 	j.counters.MapsReExecuted++
+	// The completed duration leaves the straggler aggregate with the task.
+	j.doneMapDur -= m.duration
+	j.doneMapN--
+	jt.noteMapTask(m)
 	// Reduces waiting on this map simply keep waiting; they re-fetch when
 	// the re-execution completes.
 }
@@ -347,15 +383,36 @@ func (jt *JobTracker) assign(t *TaskTracker) {
 	}
 }
 
+// assignOneMap hands one map task to the tracker, via the indexed path or
+// the retained linear scan (Config.ScanScheduler). The two are bit-identical.
 func (jt *JobTracker) assignOneMap(t *TaskTracker) bool {
+	if jt.cfg.ScanScheduler {
+		return jt.assignOneMapScan(t)
+	}
+	return jt.assignOneMapIndexed(t)
+}
+
+func (jt *JobTracker) assignOneReduce(t *TaskTracker) bool {
+	if jt.cfg.ScanScheduler {
+		return jt.assignOneReduceScan(t)
+	}
+	return jt.assignOneReduceIndexed(t)
+}
+
+func (jt *JobTracker) assignOneMapScan(t *TaskTracker) bool {
 	for _, j := range jt.jobs {
 		if j.State == JobFailed || j.State == JobSucceeded || j.blacklisted(t.Node) {
 			continue
 		}
 		// Locality pass 1: node-local pending map.
 		var nodeLocal, siteLocal, anyPending *mapTask
+		hasPending := false
 		for _, m := range j.maps {
-			if m.done || m.running() > 0 || m.failures >= jt.cfg.MaxTaskAttempts || m.failedOn[t.Node] {
+			if m.done || m.running() > 0 || m.failures >= jt.cfg.MaxTaskAttempts {
+				continue
+			}
+			hasPending = true
+			if m.failedOn[t.Node] {
 				continue
 			}
 			lvl := jt.localityOf(t, m)
@@ -393,16 +450,24 @@ func (jt *JobTracker) assignOneMap(t *TaskTracker) bool {
 			if jt.eng.Now()-j.skipSince < jt.cfg.LocalityWait {
 				continue
 			}
-			// Waited long enough; accept the non-local slot and reset.
+			// Waited long enough; accept the non-local slot. The wait is NOT
+			// reset here: one expired LocalityWait covers every queued
+			// non-local map, so a backlog launches in the same heartbeat wave
+			// instead of each map serially paying a fresh full wait. Only a
+			// node-local launch ends the waiting state.
 		}
 		if pick != nil {
 			if lvl == NodeLocal {
 				j.skipSince = -1
-			} else if jt.cfg.LocalityWait > 0 {
-				j.skipSince = -1
 			}
 			jt.launchMap(j, pick, t, lvl, false)
 			return true
+		}
+		if jt.cfg.LocalityWait > 0 && !hasPending {
+			// Backlog drained: re-arm the wait so maps that become pending
+			// later (re-executions, ghost re-queues) get a fresh chance at a
+			// local slot instead of inheriting the long-expired wait.
+			j.skipSince = -1
 		}
 		// No pending maps in this job: consider speculation before moving
 		// to the next job (Hadoop speculates within the running job first).
@@ -457,7 +522,7 @@ func (jt *JobTracker) speculativeMap(j *Job, t *TaskTracker) *mapTask {
 	return nil
 }
 
-func (jt *JobTracker) assignOneReduce(t *TaskTracker) bool {
+func (jt *JobTracker) assignOneReduceScan(t *TaskTracker) bool {
 	for _, j := range jt.jobs {
 		if j.State == JobFailed || j.State == JobSucceeded || j.blacklisted(t.Node) {
 			continue
@@ -519,7 +584,10 @@ const (
 )
 
 // isStraggler applies the paper's criterion: elapsed > slowdown * average
-// completed duration for the kind, with a minimum runtime guard.
+// completed duration for the kind, with a minimum runtime guard. The
+// indexed scheduler reads the job's maintained duration aggregates; the
+// scan baseline re-sums every completed task, as it always did. Both are
+// exact integer sums, so the two paths agree bit-for-bit.
 func (jt *JobTracker) isStraggler(j *Job, kind jobKind, started sim.Time) bool {
 	if started < 0 {
 		return false
@@ -530,7 +598,13 @@ func (jt *JobTracker) isStraggler(j *Job, kind jobKind, started sim.Time) bool {
 	}
 	var sum sim.Time
 	var n int
-	if kind == jobKindMap {
+	if jt.indexed() {
+		if kind == jobKindMap {
+			sum, n = j.doneMapDur, j.doneMapN
+		} else {
+			sum, n = j.doneReduceDur, j.doneReduceN
+		}
+	} else if kind == jobKindMap {
 		for _, m := range j.maps {
 			if m.done {
 				sum += m.duration
@@ -589,6 +663,7 @@ func (jt *JobTracker) finishJob(j *Job, state JobState, reason string) {
 		jt.disk.Release(res.node, res.bytes)
 	}
 	j.outputReservations = nil
+	jt.unregisterJobIndex(j)
 	if jt.OnJobComplete != nil {
 		jt.OnJobComplete(j)
 	}

@@ -140,6 +140,14 @@ type Config struct {
 	// heartbeats offer a local slot. Zero keeps plain FIFO, which is what
 	// HOG runs ("we follow Apache Hadoop's FIFO job scheduling policy").
 	LocalityWait sim.Time
+	// ScanScheduler selects the retained linear-scan assignment path —
+	// every task of every job rescanned per free slot per heartbeat,
+	// O(jobs x tasks x trackers) — instead of the default incrementally
+	// indexed scheduler. The two paths are bit-identical (the randomized
+	// equivalence tests assert identical assignment order and completion
+	// times); the scan path exists as the equivalence baseline, mirroring
+	// netmodel's Config.GlobalRebalance.
+	ScanScheduler bool
 }
 
 // DefaultConfig returns stock-Hadoop-like values with HOG's 30 s timeout left
@@ -269,6 +277,17 @@ type Job struct {
 	// skipSince tracks how long the job has been declining non-local map
 	// slots under delay scheduling; -1 when not waiting.
 	skipSince sim.Time
+
+	// idx is the incremental scheduler index (nil under Config.ScanScheduler).
+	idx *jobIndex
+
+	// Completed-duration aggregates for the straggler criterion, maintained
+	// on task completion/re-execution so isStraggler does not re-sum every
+	// completed task on each speculation probe.
+	doneMapDur    sim.Time
+	doneMapN      int
+	doneReduceDur sim.Time
+	doneReduceN   int
 }
 
 // blacklisted reports whether the job refuses assignments on the node.

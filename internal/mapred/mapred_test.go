@@ -34,6 +34,26 @@ type cluster struct {
 var clusterDomains = []string{"fnal.gov", "wc1-fnal.gov", "ucsd.edu", "aglt2.org", "mit.edu"}
 
 func newCluster(seed int64, nodesPerSite int, nnCfg hdfs.Config, jtCfg Config) *cluster {
+	c := newQuietCluster(seed, nodesPerSite, nnCfg, jtCfg)
+	// One global heartbeat driver: healthy nodes report to both masters,
+	// zombies only to the JobTracker.
+	c.eng.Every(3*sim.Second, func() {
+		for _, id := range c.nodes {
+			switch c.state[id] {
+			case healthy:
+				c.nn.Heartbeat(id)
+				c.jt.Heartbeat(id)
+			case zombie:
+				c.jt.Heartbeat(id)
+			}
+		}
+	})
+	return c
+}
+
+// newQuietCluster builds the cluster without the periodic heartbeat driver,
+// for tests that drive assignment heartbeats by hand.
+func newQuietCluster(seed int64, nodesPerSite int, nnCfg hdfs.Config, jtCfg Config) *cluster {
 	c := &cluster{
 		eng:   sim.New(seed),
 		state: make(map[netmodel.NodeID]nodeState),
@@ -59,19 +79,6 @@ func newCluster(seed int64, nodesPerSite int, nnCfg hdfs.Config, jtCfg Config) *
 	}
 	c.nn.Start()
 	c.jt.Start()
-	// One global heartbeat driver: healthy nodes report to both masters,
-	// zombies only to the JobTracker.
-	c.eng.Every(3*sim.Second, func() {
-		for _, id := range c.nodes {
-			switch c.state[id] {
-			case healthy:
-				c.nn.Heartbeat(id)
-				c.jt.Heartbeat(id)
-			case zombie:
-				c.jt.Heartbeat(id)
-			}
-		}
-	})
 	return c
 }
 
@@ -299,6 +306,46 @@ func TestLostInputFailsJob(t *testing.T) {
 	}
 }
 
+// TestTaskExhaustionFailsJob: when one task burns through MaxTaskAttempts
+// with every other task already done, the job must transition to JobFailed —
+// not leave the scheduler silently hanging with an unschedulable task.
+func TestTaskExhaustionFailsJob(t *testing.T) {
+	jtCfg := hogJTCfg()
+	jtCfg.MaxTaskAttempts = 3
+	jtCfg.Speculative = false
+	c := newCluster(21, 1, hogNNCfg(), jtCfg) // 5 nodes, 1 map slot each
+	j := c.jt.Submit(smallJob(c, "exhaust", 6, 0))
+	zombified := false
+	c.eng.Every(2*sim.Second, func() {
+		// Once the first wave of maps is done, turn every node into a
+		// zombie: the remaining task's attempts fail fast on each node it
+		// is retried on until its budget is exhausted.
+		if zombified || j.CompletedMaps() < 5 {
+			return
+		}
+		zombified = true
+		for _, id := range c.nodes {
+			if c.state[id] == healthy {
+				c.makeZombie(id)
+			}
+		}
+	})
+	c.eng.RunWhile(func() bool { return !c.jt.AllDone() && c.eng.Now() < 2*sim.Hour })
+	if !zombified {
+		t.Fatal("never reached the 5-maps-done trigger")
+	}
+	if !c.jt.AllDone() {
+		t.Fatalf("scheduler hung: job still %v with %d/%d maps after task exhaustion",
+			j.State, j.CompletedMaps(), j.NumMaps())
+	}
+	if j.State != JobFailed {
+		t.Fatalf("job state = %v, want failed after a task exhausted %d attempts", j.State, jtCfg.MaxTaskAttempts)
+	}
+	if j.FailReason() == "" {
+		t.Fatal("exhausted job has no failure reason")
+	}
+}
+
 func TestEagerRedundancyRunsCopies(t *testing.T) {
 	jtCfg := hogJTCfg()
 	jtCfg.EagerRedundancy = true
@@ -320,11 +367,14 @@ func TestStragglerCriterion(t *testing.T) {
 	j := c.jt.Submit(smallJob(c, "strag", 2, 1))
 	// White-box: with two completed maps of 10 s average, a task running
 	// since t-60 s is a straggler (60 > 1.33*10), but one started 5 s ago
-	// is not, and nothing is a straggler below the minimum runtime.
-	j.maps[0].done = true
-	j.maps[0].duration = 10 * sim.Second
-	j.maps[1].done = true
-	j.maps[1].duration = 10 * sim.Second
+	// is not, and nothing is a straggler below the minimum runtime. The
+	// duration aggregates are kept in step by hand, as mapDone would.
+	for _, m := range j.maps[:2] {
+		m.done = true
+		m.duration = 10 * sim.Second
+		j.doneMapDur += m.duration
+		j.doneMapN++
+	}
 	c.eng.RunUntil(100 * sim.Second)
 	now := c.eng.Now()
 	if !c.jt.isStraggler(j, jobKindMap, now-60*sim.Second) {

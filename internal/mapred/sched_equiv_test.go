@@ -1,0 +1,144 @@
+package mapred
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hog/internal/sim"
+)
+
+// schedFingerprint serializes everything the scheduler decided: per-job
+// lifecycle timestamps and counters, plus every attempt in launch order with
+// its global sequence number, node, start time, and speculation flag. Two
+// runs with identical fingerprints made bit-identical assignment decisions.
+func schedFingerprint(c *cluster) []string {
+	var out []string
+	for _, j := range c.jt.Jobs() {
+		out = append(out, fmt.Sprintf("job %d state=%v submit=%d start=%d finish=%d maps=%d reduces=%d counters=%+v",
+			j.ID, j.State, j.SubmitTime, j.StartTime, j.FinishTime, j.completedMaps, j.completedReduces, j.counters))
+		for _, m := range j.maps {
+			for _, a := range m.attempts {
+				out = append(out, fmt.Sprintf("  j%d m%d seq=%d node=%d started=%d spec=%v live=%v",
+					j.ID, m.idx, a.seq, a.node, a.started, a.spec, a.live()))
+			}
+		}
+		for _, r := range j.reduces {
+			for _, a := range r.attempts {
+				out = append(out, fmt.Sprintf("  j%d r%d seq=%d node=%d started=%d spec=%v live=%v",
+					j.ID, r.idx, a.seq, a.node, a.started, a.spec, a.live()))
+			}
+		}
+	}
+	return out
+}
+
+// runSchedChurn executes one randomized workload + churn schedule under
+// either scheduler path and returns the fingerprint. The schedule is drawn
+// from a private RNG so both paths see identical inputs.
+func runSchedChurn(seed int64, scan bool, profile string) []string {
+	nn := hogNNCfg()
+	jt := hogJTCfg()
+	jt.ScanScheduler = scan
+	switch profile {
+	case "delay":
+		nn.Replication = 1
+		jt.LocalityWait = 30 * sim.Second
+	case "eager":
+		jt.EagerRedundancy = true
+		jt.SpeculativeMinRuntime = 20 * sim.Second
+	case "kills", "zombies":
+		nn.Replication = 2
+		jt.SpeculativeMinRuntime = 20 * sim.Second
+	case "delay-churn":
+		// Delay scheduling under node loss: exercises the wait re-arm when
+		// re-executed maps re-enter a drained backlog.
+		nn.Replication = 2
+		jt.LocalityWait = 30 * sim.Second
+		jt.SpeculativeMinRuntime = 20 * sim.Second
+	}
+	c := newCluster(seed, 6, nn, jt) // 30 nodes over 5 sites
+	r := rand.New(rand.NewSource(seed * 7919))
+	const nJobs = 4
+	submitted := 0
+	for i := 0; i < nJobs; i++ {
+		cfg := smallJob(c, fmt.Sprintf("eq%d", i), 4+r.Intn(10), r.Intn(3))
+		at := sim.Time(r.Int63n(int64(90 * sim.Second)))
+		c.eng.Schedule(at, func() {
+			c.jt.Submit(cfg)
+			submitted++
+		})
+	}
+	if profile == "kills" || profile == "zombies" || profile == "delay-churn" {
+		for i := 0; i < 6; i++ {
+			at := sim.Time(int64(30*sim.Second) + r.Int63n(int64(8*sim.Minute)))
+			node := c.nodes[r.Intn(len(c.nodes))]
+			zomb := profile == "zombies" && i%2 == 0
+			c.eng.Schedule(at, func() {
+				if c.state[node] != healthy {
+					return
+				}
+				if zomb {
+					c.makeZombie(node)
+				} else {
+					c.kill(node)
+				}
+			})
+		}
+	}
+	c.eng.RunWhile(func() bool {
+		return (submitted < nJobs || !c.jt.AllDone()) && c.eng.Now() < 8*sim.Hour
+	})
+	return schedFingerprint(c)
+}
+
+// TestSchedulerEquivalence is the tentpole's contract: across churn
+// profiles and seeds, the indexed scheduler must make bit-identical
+// assignment decisions — same attempts on the same nodes at the same
+// instants, in the same launch order — and hence identical job completion
+// times, as the retained scan path.
+func TestSchedulerEquivalence(t *testing.T) {
+	for _, profile := range []string{"calm", "delay", "eager", "kills", "zombies", "delay-churn"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			indexed := runSchedChurn(seed, false, profile)
+			scan := runSchedChurn(seed, true, profile)
+			if len(indexed) != len(scan) {
+				t.Fatalf("profile %s seed %d: fingerprint lengths diverge: indexed %d, scan %d",
+					profile, seed, len(indexed), len(scan))
+			}
+			for i := range indexed {
+				if indexed[i] != scan[i] {
+					t.Fatalf("profile %s seed %d line %d:\nindexed: %s\nscan:    %s",
+						profile, seed, i, indexed[i], scan[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerDeterminism: the indexed path must agree with itself exactly
+// across identical runs (no map-iteration order anywhere in the index).
+func TestSchedulerDeterminism(t *testing.T) {
+	a := runSchedChurn(42, false, "zombies")
+	b := runSchedChurn(42, false, "zombies")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d diverges across identical runs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSchedulerIndexDrained: after every job finishes, the per-job indexes
+// must be fully unregistered from the tracker-level structures.
+func TestSchedulerIndexDrained(t *testing.T) {
+	c := newCluster(77, 3, hogNNCfg(), hogJTCfg())
+	c.jt.Submit(smallJob(c, "drain1", 6, 2))
+	c.jt.Submit(smallJob(c, "drain2", 4, 1))
+	c.runUntilDone(t, 4*sim.Hour)
+	if n := len(c.jt.activeList); n != 0 {
+		t.Fatalf("activeList holds %d jobs after completion", n)
+	}
+	if n := len(c.jt.blockMaps); n != 0 {
+		t.Fatalf("blockMaps holds %d blocks after completion", n)
+	}
+}

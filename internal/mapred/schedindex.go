@@ -1,0 +1,442 @@
+package mapred
+
+import (
+	"slices"
+	"sort"
+
+	"hog/internal/hdfs"
+	"hog/internal/netmodel"
+)
+
+// This file implements the incrementally indexed task-assignment path. The
+// retained linear scan (Config.ScanScheduler) rescans every task of every
+// job per free slot per heartbeat — O(jobs x tasks x trackers) — which made
+// thousand-node pools scheduler-bound. The index keeps, per job:
+//
+//   - ordered pending/running task sets (by task index),
+//   - pending-map sets keyed by replica node and by replica site, derived
+//     from namenode block placement and kept in sync through the
+//     hdfs.Namenode.OnPlacementChange hook,
+//
+// plus a JobTracker-level active-job list (finished jobs drop out) and a
+// block -> map-task reverse index for the placement hook. Queries walk the
+// same task order the scan does, so assignment decisions are bit-identical;
+// the randomized equivalence tests assert exactly that.
+
+// taskClass is a task's scheduler-index classification.
+type taskClass int8
+
+const (
+	// classNone: done, attempt budget exhausted, or the job has finished.
+	classNone taskClass = iota
+	// classPending: schedulable — no live attempt or ghost belief.
+	classPending
+	// classRunning: at least one live attempt or ghost (speculation pool).
+	classRunning
+)
+
+// idxSet is an ordered set of task indices backed by a sorted slice.
+// Membership operations are idempotent. Task counts per job are small
+// enough (hundreds) that O(n) insertion beats tree overhead.
+type idxSet struct{ v []int }
+
+func (s *idxSet) insert(x int) {
+	i := sort.SearchInts(s.v, x)
+	if i < len(s.v) && s.v[i] == x {
+		return
+	}
+	s.v = slices.Insert(s.v, i, x)
+}
+
+func (s *idxSet) remove(x int) {
+	i := sort.SearchInts(s.v, x)
+	if i >= len(s.v) || s.v[i] != x {
+		return
+	}
+	s.v = slices.Delete(s.v, i, i+1)
+}
+
+// jobIndex is one job's scheduler index.
+type jobIndex struct {
+	pendingMaps    idxSet
+	runningMaps    idxSet
+	pendingReduces idxSet
+	runningReduces idxSet
+
+	// mapsByNode holds pending maps with an input replica on the node
+	// (the scan's NodeLocal class); mapsBySite holds pending maps with a
+	// live input replica anywhere in the site (NodeLocal or SiteLocal).
+	mapsByNode map[netmodel.NodeID]*idxSet
+	mapsBySite map[string]*idxSet
+}
+
+func (x *jobIndex) nodeSet(n netmodel.NodeID) *idxSet {
+	s := x.mapsByNode[n]
+	if s == nil {
+		s = &idxSet{}
+		x.mapsByNode[n] = s
+	}
+	return s
+}
+
+func (x *jobIndex) siteSet(site string) *idxSet {
+	s := x.mapsBySite[site]
+	if s == nil {
+		s = &idxSet{}
+		x.mapsBySite[site] = s
+	}
+	return s
+}
+
+func (jt *JobTracker) indexed() bool { return !jt.cfg.ScanScheduler }
+
+// registerJobIndex builds j's scheduler index at submit time and enters the
+// job into the active list and the block->map reverse index.
+func (jt *JobTracker) registerJobIndex(j *Job) {
+	if !jt.indexed() {
+		return
+	}
+	j.idx = &jobIndex{
+		mapsByNode: make(map[netmodel.NodeID]*idxSet),
+		mapsBySite: make(map[string]*idxSet),
+	}
+	jt.activeList = append(jt.activeList, j)
+	for _, m := range j.maps {
+		jt.blockMaps[m.block] = append(jt.blockMaps[m.block], m)
+		jt.noteMapTask(m)
+	}
+	for _, r := range j.reduces {
+		jt.noteReduceTask(r)
+	}
+}
+
+// unregisterJobIndex removes a finished job from the active list and the
+// block->map index so heartbeats and placement changes stop touching it.
+func (jt *JobTracker) unregisterJobIndex(j *Job) {
+	if j.idx == nil {
+		return
+	}
+	if i := slices.Index(jt.activeList, j); i >= 0 {
+		jt.activeList = slices.Delete(jt.activeList, i, i+1)
+	}
+	for _, m := range j.maps {
+		list := jt.blockMaps[m.block]
+		if i := slices.Index(list, m); i >= 0 {
+			list = slices.Delete(list, i, i+1)
+		}
+		if len(list) == 0 {
+			delete(jt.blockMaps, m.block)
+		} else {
+			jt.blockMaps[m.block] = list
+		}
+	}
+}
+
+// classOfMap mirrors the scan path's candidate filters exactly: pending
+// candidates are !done && running()==0 && failures<Max; speculative
+// candidates are !done && running()>0 && failures<Max.
+func (jt *JobTracker) classOfMap(m *mapTask) taskClass {
+	j := m.job
+	if j.State == JobSucceeded || j.State == JobFailed {
+		return classNone
+	}
+	if m.done || m.failures >= jt.cfg.MaxTaskAttempts {
+		return classNone
+	}
+	if m.running() > 0 {
+		return classRunning
+	}
+	return classPending
+}
+
+func (jt *JobTracker) classOfReduce(r *reduceTask) taskClass {
+	j := r.job
+	if j.State == JobSucceeded || j.State == JobFailed {
+		return classNone
+	}
+	if r.done || r.failures >= jt.cfg.MaxTaskAttempts {
+		return classNone
+	}
+	if r.running() > 0 {
+		return classRunning
+	}
+	return classPending
+}
+
+// noteMapTask re-derives the task's classification and updates the index.
+// Call it after any mutation that can change done/running/failures state.
+func (jt *JobTracker) noteMapTask(m *mapTask) {
+	if !jt.indexed() || m.job.idx == nil {
+		return
+	}
+	c := jt.classOfMap(m)
+	if c == m.idxClass {
+		return
+	}
+	idx := m.job.idx
+	switch m.idxClass {
+	case classPending:
+		idx.pendingMaps.remove(m.idx)
+		jt.placementSets(m, false)
+	case classRunning:
+		idx.runningMaps.remove(m.idx)
+	}
+	switch c {
+	case classPending:
+		idx.pendingMaps.insert(m.idx)
+		jt.placementSets(m, true)
+	case classRunning:
+		idx.runningMaps.insert(m.idx)
+	}
+	m.idxClass = c
+}
+
+func (jt *JobTracker) noteReduceTask(r *reduceTask) {
+	if !jt.indexed() || r.job.idx == nil {
+		return
+	}
+	c := jt.classOfReduce(r)
+	if c == r.idxClass {
+		return
+	}
+	idx := r.job.idx
+	switch r.idxClass {
+	case classPending:
+		idx.pendingReduces.remove(r.idx)
+	case classRunning:
+		idx.runningReduces.remove(r.idx)
+	}
+	switch c {
+	case classPending:
+		idx.pendingReduces.insert(r.idx)
+	case classRunning:
+		idx.runningReduces.insert(r.idx)
+	}
+	r.idxClass = c
+}
+
+// placementSets adds or removes a pending map from the per-node and
+// per-site placement sets, driven by the block's current replicas. The site
+// filter mirrors localityOf: only live datanodes contribute site locality,
+// while the node set follows raw replica membership.
+func (jt *JobTracker) placementSets(m *mapTask, add bool) {
+	b := jt.nn.Block(m.block)
+	if b == nil {
+		return
+	}
+	idx := m.job.idx
+	for _, r := range b.Replicas() {
+		ns := idx.nodeSet(r)
+		if add {
+			ns.insert(m.idx)
+		} else {
+			ns.remove(m.idx)
+		}
+		if d := jt.nn.Datanode(r); d != nil && d.Alive {
+			ss := idx.siteSet(d.Site)
+			if add {
+				ss.insert(m.idx)
+			} else {
+				ss.remove(m.idx)
+			}
+		}
+	}
+}
+
+// placementChanged is the hdfs.Namenode.OnPlacementChange subscriber: a
+// replica of bid appeared on or disappeared from node, so every pending map
+// reading that block updates its per-node/per-site placement sets.
+func (jt *JobTracker) placementChanged(bid hdfs.BlockID, node netmodel.NodeID, added bool) {
+	if !jt.indexed() {
+		return
+	}
+	maps := jt.blockMaps[bid]
+	if len(maps) == 0 {
+		return
+	}
+	d := jt.nn.Datanode(node)
+	for _, m := range maps {
+		if m.idxClass != classPending {
+			continue
+		}
+		idx := m.job.idx
+		if added {
+			idx.nodeSet(node).insert(m.idx)
+			if d != nil && d.Alive {
+				idx.siteSet(d.Site).insert(m.idx)
+			}
+		} else {
+			idx.nodeSet(node).remove(m.idx)
+			if d != nil && !jt.blockLiveInSite(bid, d.Site) {
+				idx.siteSet(d.Site).remove(m.idx)
+			}
+		}
+	}
+}
+
+// blockLiveInSite reports whether the block still has a replica on a live
+// datanode in the site (another replica may keep the site entry alive).
+func (jt *JobTracker) blockLiveInSite(bid hdfs.BlockID, site string) bool {
+	b := jt.nn.Block(bid)
+	if b == nil {
+		return false
+	}
+	for _, r := range b.Replicas() {
+		if d := jt.nn.Datanode(r); d != nil && d.Alive && d.Site == site {
+			return true
+		}
+	}
+	return false
+}
+
+// pickMapIndexed returns the map the scan path would pick for tracker t, at
+// its locality level. Level preference first (node, site, remote), lowest
+// task index within a level — the scan's exact order. The three queries are
+// mutually consistent: an eligible pending map with a replica on t.Node is
+// always found by the node query, so later queries cannot misclassify.
+func (jt *JobTracker) pickMapIndexed(j *Job, t *TaskTracker) (*mapTask, LocalityLevel) {
+	if s := j.idx.mapsByNode[t.Node]; s != nil {
+		for _, i := range s.v {
+			m := j.maps[i]
+			if m.failedOn[t.Node] {
+				continue
+			}
+			return m, NodeLocal
+		}
+	}
+	if s := j.idx.mapsBySite[t.Site]; s != nil {
+		for _, i := range s.v {
+			m := j.maps[i]
+			if m.failedOn[t.Node] {
+				continue
+			}
+			return m, SiteLocal
+		}
+	}
+	for _, i := range j.idx.pendingMaps.v {
+		m := j.maps[i]
+		if m.failedOn[t.Node] {
+			continue
+		}
+		return m, Remote
+	}
+	return nil, Remote
+}
+
+func (jt *JobTracker) assignOneMapIndexed(t *TaskTracker) bool {
+	for _, j := range jt.activeList {
+		if j.blacklisted(t.Node) {
+			continue
+		}
+		pick, lvl := jt.pickMapIndexed(j, t)
+		if pick != nil && lvl != NodeLocal && jt.cfg.LocalityWait > 0 {
+			if j.skipSince < 0 {
+				j.skipSince = jt.eng.Now()
+				continue
+			}
+			if jt.eng.Now()-j.skipSince < jt.cfg.LocalityWait {
+				continue
+			}
+		}
+		if pick != nil {
+			if lvl == NodeLocal {
+				j.skipSince = -1
+			}
+			jt.launchMap(j, pick, t, lvl, false)
+			return true
+		}
+		if jt.cfg.LocalityWait > 0 && len(j.idx.pendingMaps.v) == 0 {
+			// Backlog drained: re-arm the wait so maps that become pending
+			// later (re-executions, ghost re-queues) get a fresh chance at a
+			// local slot instead of inheriting the long-expired wait.
+			j.skipSince = -1
+		}
+		if m := jt.speculativeMapIndexed(j, t); m != nil {
+			jt.launchMap(j, m, t, jt.localityOf(t, m), true)
+			return true
+		}
+	}
+	return false
+}
+
+// speculativeMapIndexed walks only the job's running maps (in task order)
+// instead of every task; membership already encodes !done && failures<Max.
+func (jt *JobTracker) speculativeMapIndexed(j *Job, t *TaskTracker) *mapTask {
+	if !jt.cfg.Speculative {
+		return nil
+	}
+	for _, i := range j.idx.runningMaps.v {
+		m := j.maps[i]
+		if m.failedOn[t.Node] {
+			continue
+		}
+		if m.running() >= jt.cfg.MaxTaskCopies {
+			continue
+		}
+		if m.runningOn(t.Node) {
+			continue
+		}
+		if jt.cfg.EagerRedundancy {
+			return m
+		}
+		if jt.isStraggler(j, jobKindMap, m.oldestRunningStart()) {
+			return m
+		}
+	}
+	return nil
+}
+
+func (jt *JobTracker) assignOneReduceIndexed(t *TaskTracker) bool {
+	for _, j := range jt.activeList {
+		if j.blacklisted(t.Node) {
+			continue
+		}
+		if len(j.maps) > 0 {
+			need := int(jt.cfg.SlowstartFraction * float64(len(j.maps)))
+			if need < 1 {
+				need = 1
+			}
+			if j.completedMaps < need {
+				continue
+			}
+		}
+		for _, i := range j.idx.pendingReduces.v {
+			r := j.reduces[i]
+			if r.failedOn[t.Node] {
+				continue
+			}
+			jt.launchReduce(j, r, t, false)
+			return true
+		}
+		if r := jt.speculativeReduceIndexed(j, t); r != nil {
+			jt.launchReduce(j, r, t, true)
+			return true
+		}
+	}
+	return false
+}
+
+func (jt *JobTracker) speculativeReduceIndexed(j *Job, t *TaskTracker) *reduceTask {
+	if !jt.cfg.Speculative {
+		return nil
+	}
+	for _, i := range j.idx.runningReduces.v {
+		r := j.reduces[i]
+		if r.failedOn[t.Node] {
+			continue
+		}
+		if r.running() >= jt.cfg.MaxTaskCopies {
+			continue
+		}
+		if r.runningOn(t.Node) {
+			continue
+		}
+		if jt.cfg.EagerRedundancy {
+			return r
+		}
+		if jt.isStraggler(j, jobKindReduce, r.oldestRunningStart()) {
+			return r
+		}
+	}
+	return nil
+}

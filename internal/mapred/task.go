@@ -35,6 +35,9 @@ type mapTask struct {
 	// outputNode hosts the winning attempt's intermediate output.
 	outputNode  netmodel.NodeID
 	outputBytes float64
+
+	// idxClass is the task's current scheduler-index classification.
+	idxClass taskClass
 }
 
 // reduceTask is one reduce task: fetches a partition from every map, sorts,
@@ -48,6 +51,9 @@ type reduceTask struct {
 	failedOn map[netmodel.NodeID]bool
 	done     bool
 	duration sim.Time
+
+	// idxClass is the task's current scheduler-index classification.
+	idxClass taskClass
 }
 
 func runningCount(atts []*attempt) int {
@@ -216,6 +222,16 @@ func (a *attempt) cancel(string) {
 	a.detach()
 	a.releaseAll()
 	a.dropOutputFile()
+	a.noteTask()
+}
+
+// noteTask refreshes the attempt's task in the scheduler index.
+func (a *attempt) noteTask() {
+	if a.mt != nil {
+		a.jt.noteMapTask(a.mt)
+	} else {
+		a.jt.noteReduceTask(a.rt)
+	}
 }
 
 // fail kills the attempt; when charge is true it counts toward the task's
@@ -266,6 +282,7 @@ func (a *attempt) fail(reason string, charge bool) {
 			a.jt.finishJob(a.job, JobFailed, fmt.Sprintf("task exceeded %d attempts: %s", a.jt.cfg.MaxTaskAttempts, reason))
 		}
 	}
+	a.noteTask()
 }
 
 // dropOutputFile deletes a reduce attempt's (possibly partial) HDFS output.
@@ -286,6 +303,7 @@ func (jt *JobTracker) launchMap(j *Job, m *mapTask, t *TaskTracker, lvl Locality
 	m.attempts = append(m.attempts, a)
 	t.attempts[a] = struct{}{}
 	t.runningMaps++
+	jt.noteMapTask(m)
 	j.counters.MapAttemptsStarted++
 	j.counters.Locality[lvl]++
 	if spec {
@@ -422,12 +440,16 @@ func (a *attempt) mapDone(out float64) {
 	if m.done {
 		// A sibling won a photo-finish; drop our duplicate output.
 		a.releaseAll()
+		a.noteTask()
 		return
 	}
 	m.done = true
 	m.duration = a.jt.eng.Now() - a.started
 	m.outputNode = a.node
 	m.outputBytes = out
+	a.job.doneMapDur += m.duration
+	a.job.doneMapN++
+	a.noteTask()
 	// Output space now belongs to the job until it completes (§IV.D.2:
 	// "Hadoop will not delete map intermediate data until the entire job is
 	// done").
@@ -469,6 +491,7 @@ func (jt *JobTracker) launchReduce(j *Job, r *reduceTask, t *TaskTracker, spec b
 	r.attempts = append(r.attempts, a)
 	t.attempts[a] = struct{}{}
 	t.runningReduces++
+	jt.noteReduceTask(r)
 	j.counters.ReduceAttemptsStarted++
 	if spec {
 		j.counters.SpeculativeReduces++
@@ -618,10 +641,14 @@ func (a *attempt) reduceDone() {
 	a.releaseAll() // shuffle scratch space freed once output is durable
 	if r.done {
 		a.jt.nn.DeleteFile(a.outFile)
+		a.noteTask()
 		return
 	}
 	r.done = true
 	r.duration = a.jt.eng.Now() - a.started
+	a.job.doneReduceDur += r.duration
+	a.job.doneReduceN++
+	a.noteTask()
 	a.job.completedReduces++
 	// Kill the speculative losers; their partial output is deleted.
 	cancelAll(r.attempts, "sibling completed")
