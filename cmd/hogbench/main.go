@@ -56,6 +56,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"hod":       experiments.PrintHODComparison,
 	"grid":      experiments.PrintLargeGrid,
 	"sched":     experiments.PrintSchedScale,
+	"events":    experiments.PrintEventCounts,
 }
 
 // runners derives the text-path registry from the harness spec registry,

@@ -1,0 +1,68 @@
+package hog
+
+import (
+	"hog/internal/core"
+	"hog/internal/event"
+)
+
+// Typed event stream. Every simulated system emits a deterministic sequence
+// of events — same seed and options, same sequence, whether zero or many
+// observers are attached; with none attached the stream costs nothing.
+// See docs/API.md for the full catalogue and contract.
+type (
+	// Event is one fact about a run: a node lifecycle change, a data event,
+	// job/task progress, or an injected fault.
+	Event = event.Event
+	// EventType discriminates the Event union.
+	EventType = event.Type
+	// TaskKind distinguishes map from reduce in task events.
+	TaskKind = event.TaskKind
+	// Observer receives events synchronously; it must treat them as
+	// read-only facts and never call back into the simulation.
+	Observer = event.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = event.ObserverFunc
+	// EventLog is a bundled Observer that records events with per-type
+	// filters, per-type counts, and a determinism fingerprint.
+	EventLog = event.Log
+)
+
+// Event types.
+const (
+	EvJobSubmitted    = event.JobSubmitted
+	EvJobFinished     = event.JobFinished
+	EvTaskLaunched    = event.TaskLaunched
+	EvTaskFinished    = event.TaskFinished
+	EvNodeJoined      = event.NodeJoined
+	EvNodePreempted   = event.NodePreempted
+	EvNodeDead        = event.NodeDead
+	EvZombieDetected  = event.ZombieDetected
+	EvBlockLost       = event.BlockLost
+	EvReplicationDone = event.ReplicationDone
+	EvSiteOutage      = event.SiteOutage
+	EvPoolRetarget    = event.PoolRetarget
+)
+
+// Task kinds for task events.
+const (
+	MapTaskKind    = event.MapTask
+	ReduceTaskKind = event.ReduceTask
+)
+
+// NewEventLog returns an event collector. With no arguments it retains every
+// event; otherwise only the listed types are retained (per-type counts still
+// cover everything observed).
+func NewEventLog(types ...EventType) *EventLog { return event.NewLog(types...) }
+
+// Scenario is an ordered, validated script of fault-injection and operations
+// actions (site outages, churn bursts, pool retargets, balancer rounds, WAN
+// degradation, condition-triggered steps), installed with System.Apply or
+// the WithScenario option. Timed steps anchor to the workload start.
+type Scenario = core.Scenario
+
+// NewScenario starts an empty scenario; chain action methods onto it:
+//
+//	hog.NewScenario("failover drill").
+//		SiteOutageAt(hog.Minutes(5), "FNAL_FERMIGRID", 1.0).
+//		RetargetWhenAliveBelow(40, 80)
+func NewScenario(name string) *Scenario { return core.NewScenario(name) }

@@ -2,32 +2,46 @@
 // grows mid-run by submitting more worker-node jobs to the grid, the HDFS
 // balancer spreads existing data onto the fresh nodes, and job throughput
 // rises. The paper extends HOG from 132 to 1101 nodes the same way.
+//
+// The growth and the balancer round are scripted as a Scenario; the pool
+// retargets are narrated live from the typed event stream.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"hog"
 )
 
-func main() {
-	cfg := hog.HOGConfig(40, hog.ChurnStable, 5)
-	sys := hog.NewSystem(cfg)
-	sched := hog.GenerateWorkload(5, 0.5)
+func build(seed int64, opts ...hog.Option) *hog.System {
+	sys, err := hog.New(append([]hog.Option{
+		hog.WithHOGPool(40, hog.ChurnStable),
+		hog.WithSeed(seed),
+	}, opts...)...)
+	if err != nil {
+		log.Fatalf("elastic-scale: %v", err)
+	}
+	return sys
+}
 
-	// Grow the pool to 120 nodes seven minutes in, then balance.
-	sys.Eng.After(420*hog.Seconds(1), func() {
-		fmt.Printf("  [t=%.0fs] scaling pool 40 -> 120 nodes\n", sys.Eng.Now().Seconds())
-		sys.Pool.SetTarget(120)
+func main() {
+	narrator := hog.ObserverFunc(func(e hog.Event) {
+		if e.Type == hog.EvPoolRetarget {
+			fmt.Printf("  [t=%.0fs] pool target set to %d nodes\n", e.Time.Seconds(), e.Value)
+		}
 	})
-	sys.Eng.After(700*hog.Seconds(1), func() {
-		moves := sys.NN.BalanceOnce(0.01, 200)
-		fmt.Printf("  [t=%.0fs] HDFS balancer started %d block moves (alive=%d)\n",
-			sys.Eng.Now().Seconds(), moves, sys.Pool.AliveCount())
-	})
+	// Grow the pool to 120 nodes seven minutes into the workload, then run
+	// one balancer round so existing blocks spread onto the fresh workers.
+	sys := build(5,
+		hog.WithObserver(narrator),
+		hog.WithScenario(hog.NewScenario("elastic scale-out").
+			RetargetPool(hog.Minutes(7), 120).
+			RebalanceAt(hog.Seconds(700), 0.01, 200)),
+	)
 
 	fmt.Println("== elastic scale-out during the workload ==")
-	res := sys.RunWorkload(sched)
+	res := sys.RunWorkload(hog.GenerateWorkload(5, 0.5))
 	fmt.Printf("\n  final pool size: %d workers\n", sys.Pool.AliveCount())
 	fmt.Printf("  workload response: %.0f s, jobs failed: %d\n", res.ResponseTime.Seconds(), res.JobsFailed)
 	fmt.Printf("  provisioned %d workers in total (%d survived churn)\n",
@@ -35,7 +49,7 @@ func main() {
 	fmt.Printf("  balancer moves completed: %d\n", res.NN.BalancerMoves)
 
 	// Compare with staying at 40 nodes.
-	base := hog.NewSystem(hog.HOGConfig(40, hog.ChurnStable, 5))
+	base := build(5)
 	bres := base.RunWorkload(hog.GenerateWorkload(5, 0.5))
 	fmt.Printf("\n  fixed 40-node pool response: %.0f s (scale-out saved %.0f s)\n",
 		bres.ResponseTime.Seconds(), bres.ResponseTime.Seconds()-res.ResponseTime.Seconds())

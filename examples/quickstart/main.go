@@ -60,7 +60,10 @@ func main() {
 	// Part 2: the same workload shape on a simulated HOG pool.
 	fmt.Println("\n== simulated HOG pool (25 nodes, stable churn) ==")
 	sched := hog.GenerateWorkload(42, 0.1) // 10% of the paper's 88-job schedule
-	sys := hog.NewSystem(hog.HOGConfig(25, hog.ChurnStable, 42))
+	sys, err := hog.New(hog.WithHOGPool(25, hog.ChurnStable), hog.WithSeed(42))
+	if err != nil {
+		log.Fatalf("simulated pool: %v", err)
+	}
 	res := sys.RunWorkload(sched)
 	fmt.Printf("  jobs: %d submitted, %d failed\n", len(res.JobResponses)+res.JobsFailed, res.JobsFailed)
 	fmt.Printf("  workload response time: %.0f s\n", res.ResponseTime.Seconds())

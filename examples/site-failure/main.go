@@ -2,36 +2,54 @@
 // an entire OSG site disappears mid-workload. With site-aware placement and
 // replication 10 every block survives and the workload completes; with flat
 // placement and replication 2 the same outage destroys data and fails jobs.
+//
+// The outage is a first-class Scenario — addressed by site name, anchored to
+// the workload start, validated before the run — and the data damage is read
+// off the typed event stream instead of end-of-run aggregates alone.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"hog"
 )
 
 func run(label string, repl int, siteAware bool) {
-	cfg := hog.HOGConfig(60, hog.ChurnNone, 11)
-	cfg.HDFS.Replication = repl
-	cfg.HDFS.SiteAware = siteAware
-
-	sys := hog.NewSystem(cfg)
-	sched := hog.GenerateWorkload(11, 0.3)
-
-	// Schedule the outage: 300 s into the run, the largest site's batch
-	// system preempts every one of our glide-ins at once (e.g. a core
-	// network failure or a higher-priority user claiming the whole pool).
-	sys.Eng.After(300*hog.Seconds(1), func() {
-		killed := sys.Pool.PreemptSite(0, 1.0)
-		fmt.Printf("  [t=%.0fs] site FNAL_FERMIGRID failed: %d workers lost\n",
-			sys.Eng.Now().Seconds(), killed)
+	// Watch the fault land, live, through the event stream.
+	narrator := hog.ObserverFunc(func(e hog.Event) {
+		if e.Type == hog.EvSiteOutage {
+			fmt.Printf("  [t=%.0fs] site %s failed: %d workers lost\n",
+				e.Time.Seconds(), e.Site, e.Value)
+		}
 	})
+	events, collect := hog.WithEvents(hog.EvBlockLost, hog.EvReplicationDone)
 
-	res := sys.RunWorkload(sched)
+	sys, err := hog.New(
+		hog.WithHOGPool(60, hog.ChurnNone),
+		hog.WithSeed(11),
+		hog.WithHDFS(func(c *hog.HDFSConfig) {
+			c.Replication = repl
+			c.SiteAware = siteAware
+		}),
+		hog.WithObserver(narrator),
+		collect,
+		// Five minutes into the run, the largest site's batch system preempts
+		// every one of our glide-ins at once (e.g. a core network failure or
+		// a higher-priority user claiming the whole pool).
+		hog.WithScenario(hog.NewScenario("whole-site outage").
+			SiteOutageAt(hog.Minutes(5), "FNAL_FERMIGRID", 1.0)),
+	)
+	if err != nil {
+		log.Fatalf("site-failure: %v", err)
+	}
+
+	res := sys.RunWorkload(hog.GenerateWorkload(11, 0.3))
 	fmt.Printf("%s\n", label)
 	fmt.Printf("  replication=%d siteAware=%v\n", repl, siteAware)
 	fmt.Printf("  response %.0f s, jobs failed %d, blocks lost %d, re-replications %d\n\n",
-		res.ResponseTime.Seconds(), res.JobsFailed, res.NN.BlocksLost, res.NN.ReplicationsDone)
+		res.ResponseTime.Seconds(), res.JobsFailed,
+		events.Count(hog.EvBlockLost), events.Count(hog.EvReplicationDone))
 }
 
 func main() {

@@ -4,20 +4,23 @@
 //
 // The package exposes three layers:
 //
-//   - The grid-scale simulation stack (NewSystem, HOGConfig,
-//     DedicatedClusterConfig, GenerateWorkload): a deterministic
-//     discrete-event reproduction of HOG — glide-in worker pools over five
-//     OSG sites with preemption, HDFS with site-aware placement and
-//     replication 10, and Hadoop MapReduce 1.0 scheduling — plus the
-//     paper's dedicated comparison cluster.
+//   - The grid-scale simulation stack: a deterministic discrete-event
+//     reproduction of HOG — glide-in worker pools over five OSG sites with
+//     preemption, HDFS with site-aware placement and replication 10, and
+//     Hadoop MapReduce 1.0 scheduling — plus the paper's dedicated
+//     comparison cluster. Systems are built with New and functional options,
+//     observed through the typed event stream (Observer, EventLog), and
+//     driven through scripted fault injection (Scenario); the legacy
+//     NewSystem(Config) facade remains for existing callers.
 //   - A real, concurrent, in-process MapReduce engine (RunJob, Mapper,
 //     Reducer, ...) with the Hadoop programming model the paper promises to
 //     leave unchanged.
 //   - The HOD (Hadoop On Demand) baseline (RunHOD) from the paper's
 //     related-work comparison.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// See docs/API.md for the Option/Observer/Scenario surface, docs/HARNESS.md
+// for the experiment suite and its JSON results document, and docs/PERF.md
+// for the performance notes.
 package hog
 
 import (
@@ -82,7 +85,10 @@ const (
 	ChurnUnstable = grid.ChurnUnstable
 )
 
-// NewSystem builds a simulated system from cfg.
+// NewSystem builds a simulated system from cfg, panicking on an invalid
+// configuration. It is the legacy facade, retained so existing callers
+// compile unchanged; new code should prefer New, which takes functional
+// options and returns an error through the same validator.
 func NewSystem(cfg Config) *System { return core.New(cfg) }
 
 // HOGConfig returns the paper's HOG setup at the given pool size and churn:
@@ -206,3 +212,9 @@ func RunSuite(ctx context.Context, ids []string, opts ExperimentOptions, workers
 
 // Seconds converts float seconds to a simulated Time.
 func Seconds(s float64) Time { return sim.Seconds(s) }
+
+// Minutes converts float minutes to a simulated Time.
+func Minutes(m float64) Time { return sim.Minutes(m) }
+
+// Hours converts float hours to a simulated Time.
+func Hours(h float64) Time { return sim.Hours(h) }

@@ -51,3 +51,131 @@ func TestFacadeTables(t *testing.T) {
 		t.Fatal("OSG sites wrong count")
 	}
 }
+
+// TestEventStreamDeterminism is the event-stream contract: same seed and
+// options give a byte-identical event sequence (asserted via the EventLog
+// fingerprint) run after run, and attaching a second observer cannot perturb
+// the stream — all under unstable churn with fault injection in play.
+func TestEventStreamDeterminism(t *testing.T) {
+	run := func(secondObserver bool) (uint64, Time) {
+		log, collect := WithEvents()
+		opts := []Option{
+			WithHOGPool(40, ChurnUnstable),
+			WithSeed(17),
+			WithZombies(ZombieDiskCheck),
+			collect,
+			WithScenario(NewScenario("determinism drill").
+				SiteOutageAt(Minutes(4), "FNAL_FERMIGRID", 0.8).
+				RetargetWhenAliveBelow(30, 50)),
+		}
+		if secondObserver {
+			opts = append(opts, WithObserver(ObserverFunc(func(Event) {})))
+		}
+		sys, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.RunWorkload(GenerateWorkload(17, 0.1))
+		if log.Len() == 0 {
+			t.Fatal("no events collected")
+		}
+		return log.Fingerprint(), res.ResponseTime
+	}
+	f1, r1 := run(false)
+	f2, r2 := run(false)
+	f3, r3 := run(true)
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("same seed diverged across runs: %016x/%v vs %016x/%v", f1, r1, f2, r2)
+	}
+	if f1 != f3 || r1 != r3 {
+		t.Fatalf("second observer perturbed the run: %016x/%v vs %016x/%v", f1, r1, f3, r3)
+	}
+}
+
+func TestEventStreamSeedSensitivity(t *testing.T) {
+	fp := func(seed int64) uint64 {
+		log, collect := WithEvents(EvNodePreempted, EvTaskFinished)
+		sys, err := New(WithHOGPool(25, ChurnUnstable), WithSeed(seed), collect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunWorkload(GenerateWorkload(seed, 0.05))
+		return log.Fingerprint()
+	}
+	if fp(1) == fp(2) {
+		t.Fatal("different seeds share an event fingerprint")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("New with no supply did not error")
+	}
+	if _, err := New(WithHOGPool(0, ChurnNone)); err == nil {
+		t.Fatal("non-positive pool target did not error")
+	}
+	if _, err := New(WithSites()); err == nil {
+		t.Fatal("WithSites before a grid supply did not error")
+	}
+	_, err := New(
+		WithHOGPool(10, ChurnNone),
+		WithScenario(NewScenario("bad").SiteOutageAt(Seconds(1), "NO_SUCH_SITE", 1.0)),
+	)
+	if err == nil || !strings.Contains(err.Error(), "NO_SUCH_SITE") {
+		t.Fatalf("unknown scenario site error = %v", err)
+	}
+	// The happy path builds and honours overrides.
+	sys, err := New(
+		WithHOGPool(10, ChurnNone),
+		WithSeed(3),
+		WithHDFS(func(c *HDFSConfig) { c.Replication = 4 }),
+		WithMapRed(func(c *MapRedConfig) { c.Speculative = false }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.NN.Config().Replication; got != 4 {
+		t.Fatalf("replication override lost: %d", got)
+	}
+	if sys.JT.Config().Speculative {
+		t.Fatal("mapred override lost")
+	}
+}
+
+// TestOptionOrderIndependence pins the builder contract: refinements apply
+// after the supply option, so writing them first cannot silently lose them
+// to the preset.
+func TestOptionOrderIndependence(t *testing.T) {
+	sys, err := New(
+		WithZombies(ZombieDiskCheck),
+		WithSeed(9),
+		WithHDFS(func(c *HDFSConfig) { c.Replication = 5 }),
+		WithHOGPool(10, ChurnNone), // supply last
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.NN.Config().Replication; got != 5 {
+		t.Fatalf("replication refinement clobbered by supply preset: %d", got)
+	}
+	res := sys.RunWorkload(GenerateWorkload(9, 0.05))
+	fwd, err := New(
+		WithHOGPool(10, ChurnNone),
+		WithZombies(ZombieDiskCheck),
+		WithSeed(9),
+		WithHDFS(func(c *HDFSConfig) { c.Replication = 5 }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres := fwd.RunWorkload(GenerateWorkload(9, 0.05))
+	if res.ResponseTime != fres.ResponseTime {
+		t.Fatalf("option order changed the run: %v vs %v", res.ResponseTime, fres.ResponseTime)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Minutes(5) != 300*Seconds(1) || Hours(1) != Minutes(60) {
+		t.Fatal("duration helpers inconsistent")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hog/internal/disk"
+	"hog/internal/event"
 	"hog/internal/grid"
 	"hog/internal/hdfs"
 	"hog/internal/mapred"
@@ -219,10 +220,13 @@ type System struct {
 	NN   *hdfs.Namenode
 	JT   *mapred.JobTracker
 
-	cfg     Config
-	mapper  *topology.Mapper
-	workers map[netmodel.NodeID]*worker
-	order   []netmodel.NodeID
+	cfg            Config
+	mapper         *topology.Mapper
+	workers        map[netmodel.NodeID]*worker
+	order          []netmodel.NodeID
+	bus            *event.Bus
+	scenarios      []*Scenario
+	scenariosArmed bool
 
 	// Reported tracks the node count the masters believe alive; it can
 	// exceed the target momentarily because departed nodes linger until
@@ -232,11 +236,25 @@ type System struct {
 	zombies int
 }
 
-// New builds a system from cfg. For grid systems the pool target is set but
-// provisioning has not run yet; call AwaitNodes or RunWorkload.
+// New builds a system from cfg, panicking on an invalid configuration (the
+// legacy facade behaviour). NewSystem is the error-returning constructor;
+// both run the same Validate.
 func New(cfg Config) *System {
-	if (cfg.Grid == nil) == (len(cfg.Static) == 0) {
-		panic("core: exactly one of Grid or Static must be configured")
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// NewSystem builds a system from cfg, returning a descriptive error when the
+// configuration is invalid. Observers passed here are subscribed before any
+// subsystem is built, so they see the full event stream from the first
+// static-node join onward. For grid systems the pool target is set but
+// provisioning has not run yet; call AwaitNodes or RunWorkload.
+func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
+	if err := Validate(cfg); err != nil {
+		return nil, err
 	}
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 10 * sim.Second
@@ -255,12 +273,18 @@ func New(cfg Config) *System {
 		cfg:      cfg,
 		mapper:   topology.NewMapper(),
 		workers:  make(map[netmodel.NodeID]*worker),
+		bus:      &event.Bus{},
 		Reported: metrics.NewSeries("reported-nodes"),
+	}
+	for _, o := range obs {
+		s.bus.Subscribe(o)
 	}
 	s.Net = netmodel.New(s.Eng, cfg.Net)
 	s.Disk = disk.NewTracker()
 	s.NN = hdfs.NewNamenode(s.Eng, s.Net, s.Disk, cfg.HDFS)
+	s.NN.Events = s.bus
 	s.JT = mapred.NewJobTracker(s.Eng, s.Net, s.NN, s.Disk, cfg.MapRed)
+	s.JT.Events = s.bus
 	s.JT.DiskUsable = func(n netmodel.NodeID) bool {
 		w := s.workers[n]
 		return w != nil && w.health == workerHealthy
@@ -275,6 +299,7 @@ func New(cfg Config) *System {
 
 	if cfg.Grid != nil {
 		s.Pool = grid.NewPool(s.Eng, s.Net, cfg.Grid.Sites, cfg.Grid.Pool)
+		s.Pool.Events = s.bus
 		s.Pool.OnJoin = s.onJoin
 		s.Pool.OnPreempt = s.onPreempt
 	} else {
@@ -298,8 +323,16 @@ func New(cfg Config) *System {
 	s.Eng.Every(cfg.SampleInterval, func() {
 		s.Reported.Add(s.Eng.Now(), float64(s.reportedAlive()))
 	})
-	return s
+	return s, nil
 }
+
+// Subscribe attaches an observer to the system's event bus. Observers added
+// here see every event from this point on; to also capture construction-time
+// events (static-node joins) pass the observer to NewSystem instead.
+// Observers receive facts synchronously and must not mutate the simulation:
+// the same seed yields the same event sequence with zero or any number of
+// observers attached.
+func (s *System) Subscribe(o event.Observer) { s.bus.Subscribe(o) }
 
 // reportedAlive counts trackers the JobTracker still believes alive.
 func (s *System) reportedAlive() int {
@@ -331,6 +364,12 @@ func (s *System) buildStatic() {
 			}
 			s.workers[id] = &worker{id: id, health: workerHealthy}
 			s.order = append(s.order, id)
+			if s.bus.Active() {
+				ev := event.At(event.NodeJoined, s.Eng.Now())
+				ev.Node = id
+				ev.Site = "cluster.local"
+				s.bus.Emit(ev)
+			}
 		}
 	}
 }
@@ -365,10 +404,12 @@ func (s *System) onPreempt(n *grid.Node) {
 		// accepting doomed work.
 		w.health = workerZombie
 		s.zombies++
+		s.emitZombie(n)
 		s.JT.NodeLostWorkdir(n.ID)
 	case ZombieDiskCheck:
 		w.health = workerZombie
 		s.zombies++
+		s.emitZombie(n)
 		s.JT.NodeLostWorkdir(n.ID)
 		// The periodic working-directory probe notices within one interval
 		// and shuts the daemons down.
@@ -379,6 +420,17 @@ func (s *System) onPreempt(n *grid.Node) {
 				s.zombies--
 			}
 		})
+	}
+}
+
+// emitZombie reports that a preemption left daemons behind without their
+// working directory (§IV.D.1).
+func (s *System) emitZombie(n *grid.Node) {
+	if s.bus.Active() {
+		ev := event.At(event.ZombieDetected, s.Eng.Now())
+		ev.Node = n.ID
+		ev.Site = n.SiteName
+		s.bus.Emit(ev)
 	}
 }
 
@@ -451,6 +503,7 @@ func (r *Result) Summary() metrics.Summary { return metrics.Summarize(r.JobRespo
 // input data and execute the evaluation workload."
 func (s *System) RunWorkload(sched *workload.Schedule) *Result {
 	s.AwaitNodes()
+	s.armScenarios()
 	for _, js := range sched.Jobs {
 		s.NN.SeedFile("/in/"+js.Name, js.InputBytes, 0)
 	}

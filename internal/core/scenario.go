@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hog/internal/event"
+	"hog/internal/sim"
+)
+
+// Scenario is an ordered, validated script of fault-injection and operations
+// actions — the paper's evaluation vocabulary (site-wide preemption, churn
+// bursts, elastic retargets, balancer rounds) as first-class data instead of
+// ad-hoc engine callbacks poking simulation internals.
+//
+// A scenario is built fluently (NewScenario(...).SiteOutageAt(...)...) and
+// installed with System.Apply, which validates every step against the target
+// system up front: unknown site names, fractions outside (0,1], pool actions
+// on a static cluster, and negative offsets are rejected before the run
+// starts instead of misfiring mid-simulation. Timed steps are anchored to
+// the workload start (the instant provisioning completes and RunWorkload
+// begins submitting, the paper's §IV.B procedure); same-instant steps fire
+// in declaration order. Condition-triggered steps are polled on the
+// scenario's Poll interval and fire at most once.
+//
+// Scenarios hold no per-run state: the same Scenario value can be applied to
+// any number of systems.
+type Scenario struct {
+	name string
+	poll sim.Time
+
+	steps []*scenarioStep
+	errs  []error
+}
+
+// scenarioStep is one action. Timed steps carry an offset from workload
+// start; conditional steps carry a predicate polled until it first holds.
+type scenarioStep struct {
+	at    sim.Time
+	timed bool
+	desc  string
+	check func(*System) error // static validation against the target system
+	cond  func(*System) bool  // conditional steps only
+	run   func(*System)
+}
+
+// NewScenario returns an empty scenario. The name labels validation errors.
+func NewScenario(name string) *Scenario {
+	return &Scenario{name: name, poll: 5 * sim.Second}
+}
+
+// Name returns the scenario's label.
+func (sc *Scenario) Name() string { return sc.name }
+
+// Steps returns the number of scripted actions.
+func (sc *Scenario) Steps() int { return len(sc.steps) }
+
+// Poll sets the predicate polling period for condition-triggered steps
+// (default 5 simulated seconds).
+func (sc *Scenario) Poll(interval sim.Time) *Scenario {
+	if interval <= 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("non-positive poll interval %v", interval))
+		return sc
+	}
+	sc.poll = interval
+	return sc
+}
+
+func (sc *Scenario) addTimed(at sim.Time, desc string, check func(*System) error, run func(*System)) *Scenario {
+	if at < 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s at negative offset %v", desc, at))
+		return sc
+	}
+	sc.steps = append(sc.steps, &scenarioStep{at: at, timed: true, desc: desc, check: check, run: run})
+	return sc
+}
+
+func (sc *Scenario) addCond(desc string, check func(*System) error, cond func(*System) bool, run func(*System)) *Scenario {
+	sc.steps = append(sc.steps, &scenarioStep{desc: desc, check: check, cond: cond, run: run})
+	return sc
+}
+
+// checkFrac validates a preemption/kill fraction at build time.
+func (sc *Scenario) checkFrac(desc string, frac float64) bool {
+	if frac <= 0 || frac > 1 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s fraction %g outside (0,1]", desc, frac))
+		return false
+	}
+	return true
+}
+
+// needPool is the Apply-time check for actions that drive the glide-in pool.
+func needPool(desc string) func(*System) error {
+	return func(s *System) error {
+		if s.Pool == nil {
+			return fmt.Errorf("%s requires a grid system (static cluster has no pool)", desc)
+		}
+		return nil
+	}
+}
+
+// needSite validates a site name against the pool's site list.
+func needSite(desc, site string) func(*System) error {
+	return func(s *System) error {
+		if s.Pool == nil {
+			return fmt.Errorf("%s requires a grid system (static cluster has no pool)", desc)
+		}
+		if s.Pool.SiteIndexByName(site) < 0 {
+			return fmt.Errorf("%s: no site named %q (have %v)", desc, site, s.Pool.SiteNames())
+		}
+		return nil
+	}
+}
+
+// SiteOutageAt takes fraction frac of the named site's workers down at
+// offset at from workload start — the paper's §III.B.1 batch-preemption
+// failure domain as a scripted fault. A SiteOutage event is emitted with the
+// number of workers lost.
+func (sc *Scenario) SiteOutageAt(at sim.Time, site string, frac float64) *Scenario {
+	desc := fmt.Sprintf("site outage %q", site)
+	if !sc.checkFrac(desc, frac) {
+		return sc
+	}
+	return sc.addTimed(at, desc, needSite(desc, site), func(s *System) {
+		killed, _ := s.Pool.PreemptSiteNamed(site, frac)
+		if s.bus.Active() {
+			ev := event.At(event.SiteOutage, s.Eng.Now())
+			ev.Site = site
+			ev.Value = killed
+			s.bus.Emit(ev)
+		}
+	})
+}
+
+// ChurnBurst preempts fraction frac of the pool's workers at every site
+// simultaneously at offset at — a grid-wide preemption storm from a
+// higher-priority campaign.
+func (sc *Scenario) ChurnBurst(at sim.Time, frac float64) *Scenario {
+	const desc = "churn burst"
+	if !sc.checkFrac(desc, frac) {
+		return sc
+	}
+	return sc.addTimed(at, desc, needPool(desc), func(s *System) {
+		s.Pool.BurstPreempt(frac)
+	})
+}
+
+// KillFraction kills fraction frac of all alive workers at offset at, chosen
+// uniformly across the pool; the pool requests replacements.
+func (sc *Scenario) KillFraction(at sim.Time, frac float64) *Scenario {
+	const desc = "kill fraction"
+	if !sc.checkFrac(desc, frac) {
+		return sc
+	}
+	return sc.addTimed(at, desc, needPool(desc), func(s *System) {
+		s.Pool.KillFraction(frac)
+	})
+}
+
+// RetargetPool changes the pool's target size at offset at (the paper's
+// elastic growth: "the number of nodes can grow and shrink elastically").
+func (sc *Scenario) RetargetPool(at sim.Time, target int) *Scenario {
+	desc := fmt.Sprintf("retarget pool to %d", target)
+	if target < 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: negative target", desc))
+		return sc
+	}
+	return sc.addTimed(at, desc, needPool(desc), func(s *System) {
+		s.Pool.SetTarget(target)
+	})
+}
+
+// RebalanceAt runs one HDFS balancer round at offset at, moving replicas
+// from nodes above the mean utilisation by more than threshold to nodes
+// below it, bounded by maxMoves.
+func (sc *Scenario) RebalanceAt(at sim.Time, threshold float64, maxMoves int) *Scenario {
+	const desc = "hdfs rebalance"
+	if threshold < 0 || maxMoves <= 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: threshold %g / maxMoves %d invalid", desc, threshold, maxMoves))
+		return sc
+	}
+	return sc.addTimed(at, desc, nil, func(s *System) {
+		s.NN.BalanceOnce(threshold, maxMoves)
+	})
+}
+
+// DegradeNetwork scales the named site's WAN uplink and downlink capacity by
+// factor at offset at (factor 0.1 = a 10x-degraded WAN path; factors above 1
+// model an upgrade). Works on grid sites and the static cluster's
+// "cluster.local" site alike.
+func (sc *Scenario) DegradeNetwork(at sim.Time, site string, factor float64) *Scenario {
+	desc := fmt.Sprintf("degrade network %q", site)
+	if factor <= 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: non-positive factor %g", desc, factor))
+		return sc
+	}
+	check := func(s *System) error {
+		if _, ok := s.Net.SiteByName(site); !ok {
+			return fmt.Errorf("%s: no network site named %q", desc, site)
+		}
+		return nil
+	}
+	return sc.addTimed(at, desc, check, func(s *System) {
+		id, ok := s.Net.SiteByName(site)
+		if !ok {
+			return
+		}
+		up, down := s.Net.SiteBandwidth(id)
+		s.Net.SetSiteBandwidth(id, up*factor, down*factor)
+	})
+}
+
+// RetargetWhenAliveBelow raises the pool target to target the first time the
+// alive worker count drops below threshold — scripted self-healing for
+// outage scenarios.
+func (sc *Scenario) RetargetWhenAliveBelow(threshold, target int) *Scenario {
+	desc := fmt.Sprintf("retarget to %d when alive < %d", target, threshold)
+	if threshold <= 0 || target < 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: invalid threshold/target", desc))
+		return sc
+	}
+	return sc.addCond(desc, needPool(desc),
+		func(s *System) bool { return s.Pool.AliveCount() < threshold },
+		func(s *System) { s.Pool.SetTarget(target) })
+}
+
+// When adds a generic condition-triggered step: cond is polled on the
+// scenario's Poll interval and do fires once, the first time it holds. It is
+// the escape hatch for conditions the typed vocabulary does not cover; cond
+// must be a pure read of system state.
+func (sc *Scenario) When(desc string, cond func(*System) bool, do func(*System)) *Scenario {
+	if cond == nil || do == nil {
+		sc.errs = append(sc.errs, fmt.Errorf("when %q: nil condition or action", desc))
+		return sc
+	}
+	return sc.addCond("when "+desc, nil, cond, do)
+}
+
+// Apply validates the scenario against this system and installs it. Every
+// step is checked up front — builder-time errors (bad fractions, negative
+// offsets) and system-dependent ones (unknown sites, pool actions on a
+// static cluster) all surface here, before anything runs. Scenarios must be
+// applied before RunWorkload; their timed steps are anchored to the workload
+// start it establishes.
+func (s *System) Apply(sc *Scenario) error {
+	if s.scenariosArmed {
+		return fmt.Errorf("core: scenario %q applied after the workload started", sc.name)
+	}
+	if len(sc.errs) > 0 {
+		return fmt.Errorf("core: scenario %q invalid: %w", sc.name, errors.Join(sc.errs...))
+	}
+	if len(sc.steps) == 0 {
+		return fmt.Errorf("core: scenario %q has no actions", sc.name)
+	}
+	for _, st := range sc.steps {
+		if st.check != nil {
+			if err := st.check(s); err != nil {
+				return fmt.Errorf("core: scenario %q: %w", sc.name, err)
+			}
+		}
+	}
+	s.scenarios = append(s.scenarios, sc)
+	return nil
+}
+
+// armScenarios schedules every installed scenario's steps relative to the
+// current instant (the workload start). Timed steps become engine events in
+// declaration order; conditional steps share one poller per scenario that
+// stops itself once every condition has fired.
+func (s *System) armScenarios() {
+	if s.scenariosArmed {
+		return
+	}
+	s.scenariosArmed = true
+	start := s.Eng.Now()
+	for _, sc := range s.scenarios {
+		var conds []*scenarioStep
+		for _, st := range sc.steps {
+			if st.timed {
+				st := st
+				s.Eng.Schedule(start+st.at, func() { st.run(s) })
+			} else {
+				conds = append(conds, st)
+			}
+		}
+		if len(conds) > 0 {
+			fired := make([]bool, len(conds))
+			var tk *sim.Ticker
+			tk = s.Eng.Every(sc.poll, func() {
+				remaining := false
+				for i, st := range conds {
+					if fired[i] {
+						continue
+					}
+					if st.cond(s) {
+						fired[i] = true
+						st.run(s)
+					} else {
+						remaining = true
+					}
+				}
+				if !remaining {
+					tk.Stop()
+				}
+			})
+		}
+	}
+}

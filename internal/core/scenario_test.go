@@ -1,0 +1,223 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no supply", Config{Seed: 1}, "no worker supply"},
+		{"both supplies", func() Config {
+			c := HOGConfig(10, grid.ChurnNone, 1)
+			c.Static = []StaticGroup{{Count: 1, MapSlots: 1}}
+			return c
+		}(), "mutually exclusive"},
+		{"no sites", Config{Seed: 1, Grid: &GridConfig{TargetNodes: 10}}, "no sites"},
+		{"negative target", func() Config {
+			c := HOGConfig(10, grid.ChurnNone, 1)
+			c.Grid.TargetNodes = -5
+			return c
+		}(), "negative grid target"},
+		{"unnamed site", func() Config {
+			c := HOGConfig(10, grid.ChurnNone, 1)
+			c.Grid.Sites[2].Name = ""
+			return c
+		}(), "has no name"},
+		{"duplicate site", func() Config {
+			c := HOGConfig(10, grid.ChurnNone, 1)
+			c.Grid.Sites[1].Name = c.Grid.Sites[0].Name
+			return c
+		}(), "duplicate site name"},
+	}
+	for _, tc := range cases {
+		sys, err := NewSystem(tc.cfg)
+		if err == nil || sys != nil {
+			t.Fatalf("%s: NewSystem accepted invalid config", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		// The legacy facade panics with the same validator message.
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: New did not panic", tc.name)
+				}
+				if msg, ok := r.(string); !ok || msg != err.Error() {
+					t.Fatalf("%s: panic %v != validator error %q", tc.name, r, err)
+				}
+			}()
+			New(tc.cfg)
+		}()
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	grids := New(HOGConfig(10, grid.ChurnNone, 1))
+	static := New(DedicatedClusterConfig(1))
+	cases := []struct {
+		name string
+		sys  *System
+		sc   *Scenario
+		want string
+	}{
+		{"unknown site", grids, NewScenario("x").SiteOutageAt(sim.Second, "NOPE", 1.0), `no site named "NOPE"`},
+		{"bad fraction", grids, NewScenario("x").SiteOutageAt(sim.Second, "UCSDT2", 1.5), "outside (0,1]"},
+		{"zero fraction", grids, NewScenario("x").ChurnBurst(sim.Second, 0), "outside (0,1]"},
+		{"negative offset", grids, NewScenario("x").RetargetPool(-sim.Second, 5), "negative offset"},
+		{"empty", grids, NewScenario("x"), "no actions"},
+		{"pool action on static", static, NewScenario("x").KillFraction(sim.Second, 0.5), "static cluster has no pool"},
+		{"unknown net site", static, NewScenario("x").DegradeNetwork(sim.Second, "NOPE", 0.5), "no network site"},
+		{"bad poll", grids, NewScenario("x").Poll(0).RetargetPool(sim.Second, 5), "poll interval"},
+	}
+	for _, tc := range cases {
+		if err := tc.sys.Apply(tc.sc); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: Apply error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// A valid scenario applies cleanly, and degrading the static cluster's
+	// own site is allowed.
+	if err := grids.Apply(NewScenario("ok").SiteOutageAt(sim.Second, "UCSDT2", 0.5)); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	if err := static.Apply(NewScenario("ok").DegradeNetwork(sim.Second, "cluster.local", 0.5)); err != nil {
+		t.Fatalf("static DegradeNetwork rejected: %v", err)
+	}
+}
+
+func TestScenarioRejectedAfterWorkloadStart(t *testing.T) {
+	sys := New(HOGConfig(10, grid.ChurnNone, 1))
+	sys.RunWorkload(tinySchedule(1))
+	err := sys.Apply(NewScenario("late").RetargetPool(sim.Second, 5))
+	if err == nil || !strings.Contains(err.Error(), "after the workload started") {
+		t.Fatalf("late Apply error = %v", err)
+	}
+}
+
+// TestScenarioMatchesManualInjection pins the scenario path to the raw
+// engine scripting it replaced: a scripted site outage must reproduce the
+// legacy AwaitNodes + Eng.After + index-based PreemptSite sequence exactly —
+// same response, same data damage, same pool accounting.
+func TestScenarioMatchesManualInjection(t *testing.T) {
+	build := func() *System {
+		cfg := HOGConfig(60, grid.ChurnNone, 11)
+		cfg.HDFS.Replication = 2
+		cfg.HDFS.SiteAware = false
+		return New(cfg)
+	}
+	manual := build()
+	manual.AwaitNodes()
+	manual.Eng.After(300*sim.Second, func() { manual.Pool.PreemptSite(0, 1.0) })
+	mres := manual.RunWorkload(tinySchedule(11))
+
+	scripted := build()
+	if err := scripted.Apply(NewScenario("outage").SiteOutageAt(300*sim.Second, "FNAL_FERMIGRID", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	sres := scripted.RunWorkload(tinySchedule(11))
+
+	if mres.ResponseTime != sres.ResponseTime {
+		t.Fatalf("response: manual %v vs scenario %v", mres.ResponseTime, sres.ResponseTime)
+	}
+	if mres.NN.BlocksLost != sres.NN.BlocksLost || mres.JobsFailed != sres.JobsFailed {
+		t.Fatalf("damage: manual (%d,%d) vs scenario (%d,%d)",
+			mres.NN.BlocksLost, mres.JobsFailed, sres.NN.BlocksLost, sres.JobsFailed)
+	}
+	if mres.Pool != sres.Pool {
+		t.Fatalf("pool stats: manual %+v vs scenario %+v", mres.Pool, sres.Pool)
+	}
+	if mres.Net != sres.Net {
+		t.Fatalf("net stats: manual %+v vs scenario %+v", mres.Net, sres.Net)
+	}
+}
+
+func TestScenarioConditionalRetarget(t *testing.T) {
+	log := event.NewLog(event.SiteOutage, event.PoolRetarget)
+	cfg := HOGConfig(60, grid.ChurnNone, 7)
+	sys, err := NewSystem(cfg, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScenario("self-healing outage").
+		SiteOutageAt(200*sim.Second, "FNAL_FERMIGRID", 1.0).
+		RetargetWhenAliveBelow(55, 90)
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunWorkload(tinySchedule(7))
+	if log.Count(event.SiteOutage) != 1 {
+		t.Fatalf("site outages = %d, want 1", log.Count(event.SiteOutage))
+	}
+	// Retargets: workload start (60) + conditional self-heal (90), once.
+	var targets []int
+	for _, e := range log.Events() {
+		if e.Type == event.PoolRetarget {
+			targets = append(targets, e.Value)
+		}
+	}
+	if len(targets) != 2 || targets[0] != 60 || targets[1] != 90 {
+		t.Fatalf("retarget sequence = %v, want [60 90]", targets)
+	}
+	if got := sys.Pool.Target(); got != 90 {
+		t.Fatalf("final target = %d, want 90", got)
+	}
+	for _, e := range log.Events() {
+		if e.Type == event.SiteOutage && (e.Site != "FNAL_FERMIGRID" || e.Value <= 0) {
+			t.Fatalf("bad SiteOutage event %+v", e)
+		}
+	}
+}
+
+func TestScenarioDegradeNetworkSlowsRun(t *testing.T) {
+	run := func(sc *Scenario) sim.Time {
+		sys := New(HOGConfig(30, grid.ChurnNone, 3))
+		if sc != nil {
+			if err := sys.Apply(sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys.RunWorkload(tinySchedule(3)).ResponseTime
+	}
+	base := run(nil)
+	sc := NewScenario("wan brownout")
+	for _, site := range grid.OSGSites(grid.ChurnNone) {
+		sc.DegradeNetwork(0, site.Name, 0.02)
+	}
+	degraded := run(sc)
+	if degraded <= base {
+		t.Fatalf("50x WAN degradation did not slow the run: base %v, degraded %v", base, degraded)
+	}
+}
+
+// TestStaticJoinEventsVisible asserts that observers passed to NewSystem see
+// construction-time events: the dedicated cluster's 30 node joins.
+func TestStaticJoinEventsVisible(t *testing.T) {
+	log := event.NewLog(event.NodeJoined)
+	sys, err := NewSystem(DedicatedClusterConfig(1), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Count(event.NodeJoined) != 30 {
+		t.Fatalf("static joins observed = %d, want 30", log.Count(event.NodeJoined))
+	}
+	// A late Subscribe misses them by design but sees later events.
+	late := event.NewLog()
+	sys.Subscribe(late)
+	if late.Total() != 0 {
+		t.Fatal("late observer saw past events")
+	}
+	sys.RunWorkload(tinySchedule(1))
+	if late.Count(event.JobSubmitted) == 0 || late.Count(event.TaskFinished) == 0 {
+		t.Fatal("late observer saw no run events")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks a Config for structural errors before any simulation state
+// is built. It is the single validation path for both constructors: the
+// error-returning NewSystem surfaces the message, and the legacy panicking
+// New facade panics with the same one.
+func Validate(cfg Config) error {
+	if cfg.Grid != nil && len(cfg.Static) > 0 {
+		return errors.New("core: Grid and Static are mutually exclusive; configure exactly one worker supply")
+	}
+	if cfg.Grid == nil && len(cfg.Static) == 0 {
+		return errors.New("core: no worker supply; configure exactly one of Grid or Static")
+	}
+	if g := cfg.Grid; g != nil {
+		if len(g.Sites) == 0 {
+			return errors.New("core: grid config has no sites")
+		}
+		if g.TargetNodes < 0 {
+			return fmt.Errorf("core: negative grid target %d", g.TargetNodes)
+		}
+		seen := make(map[string]bool, len(g.Sites))
+		for i, sc := range g.Sites {
+			if sc.Name == "" {
+				return fmt.Errorf("core: site %d has no name", i)
+			}
+			if seen[sc.Name] {
+				return fmt.Errorf("core: duplicate site name %q", sc.Name)
+			}
+			seen[sc.Name] = true
+			if sc.Capacity < 0 {
+				return fmt.Errorf("core: site %q has negative capacity %d", sc.Name, sc.Capacity)
+			}
+			if sc.BatchPreemptFrac < 0 || sc.BatchPreemptFrac > 1 {
+				return fmt.Errorf("core: site %q batch preemption fraction %g outside [0,1]", sc.Name, sc.BatchPreemptFrac)
+			}
+		}
+	}
+	for i, g := range cfg.Static {
+		if g.Count < 0 {
+			return fmt.Errorf("core: static group %d has negative count %d", i, g.Count)
+		}
+		if g.Count > 0 && g.MapSlots <= 0 && g.ReduceSlots <= 0 {
+			return fmt.Errorf("core: static group %d has no task slots", i)
+		}
+	}
+	if cfg.SampleInterval < 0 {
+		return fmt.Errorf("core: negative sample interval %v", cfg.SampleInterval)
+	}
+	if cfg.RunBound < 0 {
+		return fmt.Errorf("core: negative run bound %v", cfg.RunBound)
+	}
+	return nil
+}

@@ -38,16 +38,26 @@ type SiteFailureResult struct {
 	Response   sim.Time
 }
 
+// SiteFailureSite is the site A-SITE takes down: the largest OSG site,
+// addressed by name rather than by its index in the site list.
+const SiteFailureSite = "FNAL_FERMIGRID"
+
 // SiteFailureTrial kills the largest site mid-run under one configuration.
+// The outage is a scripted scenario step: timed steps anchor to the workload
+// start, so the outage hits 300 s after provisioning completes and the data
+// is staged — a populated, data-bearing site, per the paper's §IV.B
+// procedure.
 func SiteFailureTrial(c SiteFailureCase, opts Options) SiteFailureResult {
 	opts = opts.WithDefaults()
 	cfg := core.HOGConfig(60, grid.ChurnNone, opts.Seeds[0])
 	cfg.HDFS.Replication = c.Repl
 	cfg.HDFS.SiteAware = c.SiteAware
 	sys := core.New(opts.tune(cfg))
-	// Provision first so the outage hits a populated, data-bearing site.
-	sys.AwaitNodes()
-	sys.Eng.After(300*sim.Second, func() { sys.Pool.PreemptSite(0, 1.0) })
+	outage := core.NewScenario("whole-site outage").
+		SiteOutageAt(300*sim.Second, SiteFailureSite, 1.0)
+	if err := sys.Apply(outage); err != nil {
+		panic(err)
+	}
 	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
 	return SiteFailureResult{
 		Label: c.Label, Repl: c.Repl, SiteAware: c.SiteAware,

@@ -10,6 +10,7 @@ package grid
 import (
 	"fmt"
 
+	"hog/internal/event"
 	"hog/internal/netmodel"
 	"hog/internal/sim"
 )
@@ -100,6 +101,10 @@ type Pool struct {
 	// the site kills it (the process tree and working directory are gone).
 	OnJoin    func(*Node)
 	OnPreempt func(*Node)
+
+	// Events receives NodeJoined, NodePreempted, and PoolRetarget events
+	// when observers are subscribed; nil is a valid, inactive bus.
+	Events *event.Bus
 }
 
 type siteRuntime struct {
@@ -143,13 +148,18 @@ func (p *Pool) SetTarget(n int) {
 	if n < 0 {
 		n = 0
 	}
+	if n != p.target && p.Events.Active() {
+		ev := event.At(event.PoolRetarget, p.eng.Now())
+		ev.Value = n
+		p.Events.Emit(ev)
+	}
 	p.target = n
 	for p.alive > p.target {
 		victim := p.anyAliveNode()
 		if victim == nil {
 			break
 		}
-		p.preempt(victim, &p.stats.Released, false)
+		p.preempt(victim, &p.stats.Released, false, "released")
 	}
 	p.maintain()
 }
@@ -234,10 +244,16 @@ func (p *Pool) provision() {
 	p.stats.Provisioned++
 	if sr.cfg.NodeLifetime != nil {
 		life := sr.cfg.NodeLifetime.Sample(p.eng.Rand())
-		n.lifetime = p.eng.After(life, func() { p.preempt(n, &p.stats.Preempted, true) })
+		n.lifetime = p.eng.After(life, func() { p.preempt(n, &p.stats.Preempted, true, "lifetime") })
 	}
 	if p.OnJoin != nil {
 		p.OnJoin(n)
+	}
+	if p.Events.Active() {
+		ev := event.At(event.NodeJoined, p.eng.Now())
+		ev.Node = n.ID
+		ev.Site = n.SiteName
+		p.Events.Emit(ev)
 	}
 	p.maintain()
 }
@@ -281,9 +297,10 @@ func (p *Pool) chooseSite() *siteRuntime {
 	return nil
 }
 
-// preempt removes a node; counter receives the increment, and replace
-// controls whether the pool should request a replacement.
-func (p *Pool) preempt(n *Node, counter *int, replace bool) {
+// preempt removes a node; counter receives the increment, replace controls
+// whether the pool should request a replacement, and kind labels the removal
+// in the event stream (lifetime, batch, released, killed).
+func (p *Pool) preempt(n *Node, counter *int, replace bool, kind string) {
 	if !n.Alive {
 		return
 	}
@@ -295,6 +312,13 @@ func (p *Pool) preempt(n *Node, counter *int, replace bool) {
 	}
 	p.alive--
 	p.sites[n.Site].alive--
+	if p.Events.Active() {
+		ev := event.At(event.NodePreempted, p.eng.Now())
+		ev.Node = n.ID
+		ev.Site = n.SiteName
+		ev.Detail = kind
+		p.Events.Emit(ev)
+	}
 	if p.OnPreempt != nil {
 		p.OnPreempt(n)
 	}
@@ -307,7 +331,7 @@ func (p *Pool) preempt(n *Node, counter *int, replace bool) {
 // down the daemons, §IV.D.2) and requests a replacement.
 func (p *Pool) Kill(id netmodel.NodeID) {
 	if n, ok := p.nodes[id]; ok {
-		p.preempt(n, &p.stats.Killed, true)
+		p.preempt(n, &p.stats.Killed, true, "killed")
 	}
 }
 
@@ -315,6 +339,66 @@ func (p *Pool) Kill(id netmodel.NodeID) {
 // i (failure injection for site-outage experiments).
 func (p *Pool) PreemptSite(i int, frac float64) int {
 	return p.batchPreempt(p.sites[i], frac)
+}
+
+// SiteIndexByName returns the index of the named site, or -1 when the pool
+// has no site with that GLIDEIN_ResourceName.
+func (p *Pool) SiteIndexByName(name string) int {
+	for i, s := range p.sites {
+		if s.cfg.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PreemptSiteNamed preempts fraction frac of our nodes at the named site.
+// Unlike the index-based PreemptSite it cannot silently hit the wrong site:
+// an unknown name is an error.
+func (p *Pool) PreemptSiteNamed(name string, frac float64) (int, error) {
+	i := p.SiteIndexByName(name)
+	if i < 0 {
+		return 0, fmt.Errorf("grid: no site named %q", name)
+	}
+	return p.batchPreempt(p.sites[i], frac), nil
+}
+
+// BurstPreempt preempts fraction frac of our nodes at every site at once (a
+// grid-wide preemption storm: a higher-priority campaign claiming slots
+// everywhere simultaneously). It returns the number of nodes lost.
+func (p *Pool) BurstPreempt(frac float64) int {
+	killed := 0
+	for _, sr := range p.sites {
+		if n := p.batchPreempt(sr, frac); n > 0 {
+			p.stats.BatchEvents++
+			killed += n
+		}
+	}
+	return killed
+}
+
+// KillFraction kills fraction frac of all alive workers, chosen uniformly
+// across the pool regardless of site (failure injection; the pool requests
+// replacements as it does for any external kill). It returns the number of
+// nodes killed.
+func (p *Pool) KillFraction(frac float64) int {
+	var victims []*Node
+	for _, n := range p.nodes {
+		if n.Alive {
+			victims = append(victims, n)
+		}
+	}
+	sortNodesByID(victims)
+	r := p.eng.Rand()
+	r.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+	k := int(frac*float64(len(victims)) + 0.5)
+	if k > len(victims) {
+		k = len(victims)
+	}
+	for _, n := range victims[:k] {
+		p.preempt(n, &p.stats.Killed, true, "killed")
+	}
+	return k
 }
 
 func (p *Pool) scheduleBatchPreemption(sr *siteRuntime) {
@@ -345,7 +429,7 @@ func (p *Pool) batchPreempt(sr *siteRuntime, frac float64) int {
 		k = len(victims)
 	}
 	for _, n := range victims[:k] {
-		p.preempt(n, &p.stats.BatchPreempted, true)
+		p.preempt(n, &p.stats.BatchPreempted, true, "batch")
 	}
 	return k
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hog/internal/event"
 	"hog/internal/netmodel"
 	"hog/internal/sim"
 	"hog/internal/topology"
@@ -248,4 +249,94 @@ func TestNoSitesPanics(t *testing.T) {
 		}
 	}()
 	NewPool(eng, net, nil, PoolConfig{})
+}
+
+func TestSiteIndexByName(t *testing.T) {
+	_, _, p := newTestPool(1, quietSites(5), DefaultPoolConfig())
+	for i, name := range p.SiteNames() {
+		if got := p.SiteIndexByName(name); got != i {
+			t.Fatalf("SiteIndexByName(%q) = %d, want %d", name, got, i)
+		}
+	}
+	if got := p.SiteIndexByName("NO_SUCH_SITE"); got != -1 {
+		t.Fatalf("unknown site resolved to %d", got)
+	}
+}
+
+// TestPreemptSiteNamedMatchesIndex pins the name-based site preemption to
+// the index-based one: same seed, same site, identical kill decision.
+func TestPreemptSiteNamedMatchesIndex(t *testing.T) {
+	run := func(byName bool) (killed, alive int) {
+		eng, _, p := newTestPool(9, quietSites(5), DefaultPoolConfig())
+		p.SetTarget(60)
+		eng.RunUntil(time30())
+		if byName {
+			n, err := p.PreemptSiteNamed("FNAL_FERMIGRID", 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			killed = n
+		} else {
+			killed = p.PreemptSite(0, 1.0)
+		}
+		return killed, p.AliveCount()
+	}
+	ik, ia := run(false)
+	nk, na := run(true)
+	if ik != nk || ia != na {
+		t.Fatalf("name-based preemption diverged: index (%d,%d) vs name (%d,%d)", ik, ia, nk, na)
+	}
+	if ik == 0 {
+		t.Fatal("outage killed nothing")
+	}
+	_, _, p := newTestPool(9, quietSites(5), DefaultPoolConfig())
+	if _, err := p.PreemptSiteNamed("NO_SUCH_SITE", 1.0); err == nil {
+		t.Fatal("unknown site name did not error")
+	}
+}
+
+func TestBurstAndKillFraction(t *testing.T) {
+	eng, _, p := newTestPool(4, quietSites(5), DefaultPoolConfig())
+	p.SetTarget(80)
+	eng.RunUntil(time30())
+	if n := p.BurstPreempt(0.5); n < 30 || n > 50 {
+		t.Fatalf("BurstPreempt(0.5) killed %d of 80", n)
+	}
+	eng.RunUntil(eng.Now() + time30()) // pool heals
+	if p.AliveCount() != 80 {
+		t.Fatalf("pool did not heal after burst: alive=%d", p.AliveCount())
+	}
+	if n := p.KillFraction(0.25); n != 20 {
+		t.Fatalf("KillFraction(0.25) killed %d of 80, want 20", n)
+	}
+	if p.Stats().Killed < 20 {
+		t.Fatalf("killed counter = %d", p.Stats().Killed)
+	}
+}
+
+func TestPoolEmitsLifecycleEvents(t *testing.T) {
+	eng, _, p := newTestPool(3, quietSites(5), DefaultPoolConfig())
+	log := event.NewLog()
+	p.Events = &event.Bus{}
+	p.Events.Subscribe(log)
+	p.SetTarget(30)
+	eng.RunUntil(time30())
+	p.KillFraction(0.5)
+	if got := log.Count(event.PoolRetarget); got != 1 {
+		t.Fatalf("PoolRetarget events = %d, want 1", got)
+	}
+	if got := log.Count(event.NodeJoined); got < 30 {
+		t.Fatalf("NodeJoined events = %d, want >= 30", got)
+	}
+	if got := log.Count(event.NodePreempted); got != 15 {
+		t.Fatalf("NodePreempted events = %d, want 15", got)
+	}
+	for _, e := range log.Events() {
+		if e.Type == event.NodePreempted && e.Detail != "killed" {
+			t.Fatalf("kill preemption labelled %q", e.Detail)
+		}
+		if e.Type == event.NodeJoined && e.Site == "" {
+			t.Fatal("NodeJoined without site name")
+		}
+	}
 }

@@ -14,6 +14,7 @@ package harness
 import (
 	"fmt"
 
+	"hog/internal/event"
 	"hog/internal/experiments"
 )
 
@@ -87,6 +88,7 @@ func Specs() []Spec {
 		{"hod", "A-HOD: Hadoop On Demand baseline", expandHOD},
 		{"grid", "LARGE-GRID: ~1000 nodes across 12 sites", expandLargeGrid},
 		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
+		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
 	}
 }
 
@@ -415,6 +417,24 @@ func expandLargeGrid(opts experiments.Options) []Trial {
 				"cross_site_frac": r.CrossSiteFrac,
 				"jobs_failed":     float64(r.JobsFailed),
 			}
+		},
+	}}
+}
+
+func expandEvents(opts experiments.Options) []Trial {
+	return []Trial{{
+		Experiment: "events", Point: "scenario", Seed: opts.Seeds[0], Nodes: 60, Scale: opts.Scale,
+		run: func() Metrics {
+			r := experiments.EventCountsTrial(opts)
+			m := Metrics{
+				"response_s":   r.Response.Seconds(),
+				"jobs_failed":  float64(r.JobsFailed),
+				"total_events": float64(r.Total),
+			}
+			for t := event.Type(0); t < event.NumTypes; t++ {
+				m[experiments.EventMetricName(t)] = float64(r.Counts[t])
+			}
+			return m
 		},
 	}}
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"hog/internal/disk"
+	"hog/internal/event"
 	"hog/internal/netmodel"
 	"hog/internal/sim"
 	"hog/internal/topology"
@@ -184,6 +185,10 @@ type Namenode struct {
 	// onto any previously installed callback.
 	OnPlacementChange func(bid BlockID, node netmodel.NodeID, added bool)
 
+	// Events receives NodeDead, BlockLost, and ReplicationDone events when
+	// observers are subscribed; nil is a valid, inactive bus.
+	Events *event.Bus
+
 	checker *sim.Ticker
 }
 
@@ -302,6 +307,12 @@ func (nn *Namenode) markDead(d *DatanodeInfo) {
 	}
 	d.Alive = false
 	nn.stats.DatanodesDead++
+	if nn.Events.Active() {
+		ev := event.At(event.NodeDead, nn.eng.Now())
+		ev.Node = d.ID
+		ev.Site = d.Site
+		nn.Events.Emit(ev)
+	}
 	nn.cancelStreamsTouching(d.ID)
 	// Sort for determinism: the recovery queue order must not depend on map
 	// iteration.
@@ -340,6 +351,12 @@ func (nn *Namenode) loseBlock(b *BlockInfo) {
 	}
 	b.lost = true
 	nn.stats.BlocksLost++
+	if nn.Events.Active() {
+		ev := event.At(event.BlockLost, nn.eng.Now())
+		ev.Block = int64(b.ID)
+		ev.Detail = b.File
+		nn.Events.Emit(ev)
+	}
 	if nn.OnBlockLost != nil {
 		nn.OnBlockLost(b)
 	}

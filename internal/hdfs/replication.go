@@ -3,6 +3,7 @@ package hdfs
 import (
 	"sort"
 
+	"hog/internal/event"
 	"hog/internal/netmodel"
 )
 
@@ -80,6 +81,12 @@ func (nn *Namenode) pumpReplication() {
 				nn.addReplica(b, dst)
 				nn.stats.ReplicationsDone++
 				nn.stats.BytesReplicated += b.Size
+				if nn.Events.Active() {
+					ev := event.At(event.ReplicationDone, nn.eng.Now())
+					ev.Block = int64(bid)
+					ev.Node = dst
+					nn.Events.Emit(ev)
+				}
 			} else {
 				nn.disk.Release(dst, b.Size)
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hog/internal/disk"
+	"hog/internal/event"
 	"hog/internal/hdfs"
 	"hog/internal/netmodel"
 	"hog/internal/sim"
@@ -71,6 +72,11 @@ type JobTracker struct {
 	OnDiskOverflow func(n netmodel.NodeID)
 	// OnJobComplete fires when a job succeeds or fails.
 	OnJobComplete func(*Job)
+
+	// Events receives JobSubmitted, JobFinished, TaskLaunched, and
+	// TaskFinished events when observers are subscribed; nil is a valid,
+	// inactive bus.
+	Events *event.Bus
 
 	checker *sim.Ticker
 }
@@ -190,6 +196,12 @@ func (jt *JobTracker) Submit(cfg JobConfig) *Job {
 	jt.jobs = append(jt.jobs, j)
 	jt.active++
 	jt.registerJobIndex(j)
+	if jt.Events.Active() {
+		ev := event.At(event.JobSubmitted, jt.eng.Now())
+		ev.Job = int(j.ID)
+		ev.Detail = cfg.Name
+		jt.Events.Emit(ev)
+	}
 	// Kick the schedulers: idle trackers assign on their next heartbeat,
 	// which is at most one interval away, so nothing else is needed here.
 	return j
@@ -664,6 +676,12 @@ func (jt *JobTracker) finishJob(j *Job, state JobState, reason string) {
 	}
 	j.outputReservations = nil
 	jt.unregisterJobIndex(j)
+	if jt.Events.Active() {
+		ev := event.At(event.JobFinished, jt.eng.Now())
+		ev.Job = int(j.ID)
+		ev.Detail = state.String()
+		jt.Events.Emit(ev)
+	}
 	if jt.OnJobComplete != nil {
 		jt.OnJobComplete(j)
 	}

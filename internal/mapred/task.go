@@ -3,6 +3,7 @@ package mapred
 import (
 	"fmt"
 
+	"hog/internal/event"
 	"hog/internal/hdfs"
 	"hog/internal/netmodel"
 	"hog/internal/sim"
@@ -309,6 +310,15 @@ func (jt *JobTracker) launchMap(j *Job, m *mapTask, t *TaskTracker, lvl Locality
 	if spec {
 		j.counters.SpeculativeMaps++
 	}
+	if jt.Events.Active() {
+		ev := event.At(event.TaskLaunched, jt.eng.Now())
+		ev.Job = int(j.ID)
+		ev.Task = m.idx
+		ev.Kind = event.MapTask
+		ev.Locality = int8(lvl)
+		ev.Node = t.Node
+		jt.Events.Emit(ev)
+	}
 	a.timer = jt.eng.After(jt.cfg.TaskStartupOverhead, func() { a.mapRead() })
 }
 
@@ -449,6 +459,14 @@ func (a *attempt) mapDone(out float64) {
 	m.outputBytes = out
 	a.job.doneMapDur += m.duration
 	a.job.doneMapN++
+	if a.jt.Events.Active() {
+		ev := event.At(event.TaskFinished, a.jt.eng.Now())
+		ev.Job = int(a.job.ID)
+		ev.Task = m.idx
+		ev.Kind = event.MapTask
+		ev.Node = a.node
+		a.jt.Events.Emit(ev)
+	}
 	a.noteTask()
 	// Output space now belongs to the job until it completes (§IV.D.2:
 	// "Hadoop will not delete map intermediate data until the entire job is
@@ -495,6 +513,14 @@ func (jt *JobTracker) launchReduce(j *Job, r *reduceTask, t *TaskTracker, spec b
 	j.counters.ReduceAttemptsStarted++
 	if spec {
 		j.counters.SpeculativeReduces++
+	}
+	if jt.Events.Active() {
+		ev := event.At(event.TaskLaunched, jt.eng.Now())
+		ev.Job = int(j.ID)
+		ev.Task = r.idx
+		ev.Kind = event.ReduceTask
+		ev.Node = t.Node
+		jt.Events.Emit(ev)
 	}
 	a.timer = jt.eng.After(jt.cfg.TaskStartupOverhead, func() { a.reduceStart() })
 }
@@ -648,6 +674,14 @@ func (a *attempt) reduceDone() {
 	r.duration = a.jt.eng.Now() - a.started
 	a.job.doneReduceDur += r.duration
 	a.job.doneReduceN++
+	if a.jt.Events.Active() {
+		ev := event.At(event.TaskFinished, a.jt.eng.Now())
+		ev.Job = int(a.job.ID)
+		ev.Task = r.idx
+		ev.Kind = event.ReduceTask
+		ev.Node = a.node
+		a.jt.Events.Emit(ev)
+	}
 	a.noteTask()
 	a.job.completedReduces++
 	// Kill the speculative losers; their partial output is deleted.

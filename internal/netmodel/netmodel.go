@@ -236,6 +236,38 @@ func (n *Network) SiteOf(id NodeID) SiteID { return n.nodes[id].site }
 // SiteName returns the registered name of a site.
 func (n *Network) SiteName(id SiteID) string { return n.sites[id].name }
 
+// SiteByName returns the ID of the site registered under name.
+func (n *Network) SiteByName(name string) (SiteID, bool) {
+	for i, s := range n.sites {
+		if s.name == name {
+			return SiteID(i), true
+		}
+	}
+	return 0, false
+}
+
+// SiteBandwidth returns a site's current WAN uplink/downlink capacities in
+// bytes/sec.
+func (n *Network) SiteBandwidth(site SiteID) (uplinkBps, downlinkBps float64) {
+	s := n.sites[site]
+	return s.up.capacity, s.down.capacity
+}
+
+// SetSiteBandwidth changes a site's WAN capacities mid-run (failure
+// injection: a degraded or congested WAN path). Active flows crossing the
+// site's links are settled at their old rates and re-timed at the new
+// shares, exactly as a population change would.
+func (n *Network) SetSiteBandwidth(site SiteID, uplinkBps, downlinkBps float64) {
+	s := n.sites[site]
+	n.markDirty(&s.up)
+	n.markDirty(&s.down)
+	s.up.capacity = uplinkBps
+	s.up.reshare()
+	s.down.capacity = downlinkBps
+	s.down.reshare()
+	n.rebalance()
+}
+
 // Hostname returns the hostname a node was registered with.
 func (n *Network) Hostname(id NodeID) string { return n.nodes[id].hostname }
 

@@ -24,6 +24,12 @@ func Seconds(s float64) Time { return Time(s * float64(Second)) }
 // Milliseconds converts a floating-point number of milliseconds to a Time.
 func Milliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
 
+// Minutes converts a floating-point number of minutes to a Time.
+func Minutes(m float64) Time { return Time(m * float64(Minute)) }
+
+// Hours converts a floating-point number of hours to a Time.
+func Hours(h float64) Time { return Time(h * float64(Hour)) }
+
 // Seconds reports t as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 

@@ -1,0 +1,18 @@
+package sim
+
+import "testing"
+
+func TestDurationHelpers(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Minutes(5) != 300*Second || Minutes(0.5) != 30*Second {
+		t.Fatalf("Minutes broken: %v %v", Minutes(5), Minutes(0.5))
+	}
+	if Hours(2) != 120*Minute || Hours(0.25) != 15*Minute {
+		t.Fatalf("Hours broken: %v %v", Hours(2), Hours(0.25))
+	}
+	if Hours(1) != Minutes(60) || Minutes(1) != Seconds(60) {
+		t.Fatal("unit helpers disagree")
+	}
+}
