@@ -1,0 +1,118 @@
+// Command benchcheck compares two hog-results JSON documents (see
+// docs/HARNESS.md) metric by metric and fails when the new run regresses
+// past a tolerance — the CI gate that turns the committed BENCH_baseline.json
+// into an accumulating benchmark trajectory.
+//
+// Usage:
+//
+//	benchcheck -old BENCH_baseline.json -new BENCH_suite.json [-tol 0.5]
+//
+// Every (experiment, point, seed, metric) present in both documents is
+// compared as |new-old| <= tol * max(|old|, floor). The simulated metrics
+// are deterministic for a fixed seed set, so in the steady state the gate
+// passes with zero drift; the generous default tolerance exists so that
+// deliberate model changes (new scheduling policy, recalibrated costs) can
+// land without ceremony, while a rewrite that silently halves throughput or
+// doubles failures trips it. Metrics present on only one side are reported
+// but not fatal: experiments are expected to come and go.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type doc struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+	Experiments   []struct {
+		ID     string `json:"id"`
+		Trials []struct {
+			Point   string             `json:"point"`
+			Seed    int64              `json:"seed"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"trials"`
+	} `json:"experiments"`
+}
+
+func load(path string) (*doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != "hog-results" {
+		return nil, fmt.Errorf("%s: schema %q is not hog-results", path, d.Schema)
+	}
+	return &d, nil
+}
+
+// flatten indexes every trial metric by "experiment/point/seed/metric".
+func flatten(d *doc) map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range d.Experiments {
+		for _, t := range e.Trials {
+			for k, v := range t.Metrics {
+				out[fmt.Sprintf("%s/%s/seed=%d/%s", e.ID, t.Point, t.Seed, k)] = v
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline hog-results document")
+	newPath := flag.String("new", "", "candidate hog-results document")
+	tol := flag.Float64("tol", 0.5, "allowed relative drift per metric")
+	floor := flag.Float64("floor", 1.0, "absolute scale floor so near-zero metrics aren't all noise")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -old and -new are required")
+		os.Exit(2)
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	oldM, newM := flatten(oldDoc), flatten(newDoc)
+	compared, missing, added, failed := 0, 0, 0, 0
+	for k, ov := range oldM {
+		nv, ok := newM[k]
+		if !ok {
+			missing++
+			continue
+		}
+		compared++
+		limit := *tol * math.Max(math.Abs(ov), *floor)
+		if math.Abs(nv-ov) > limit {
+			failed++
+			fmt.Printf("REGRESSION %s: old=%.6g new=%.6g (drift %.6g > %.6g)\n", k, ov, nv, math.Abs(nv-ov), limit)
+		}
+	}
+	for k := range newM {
+		if _, ok := oldM[k]; !ok {
+			added++
+		}
+	}
+	fmt.Printf("benchcheck: %d compared, %d failed, %d baseline-only, %d new-only (tol %.0f%%)\n",
+		compared, failed, missing, added, 100**tol)
+	if compared == 0 {
+		fmt.Println("benchcheck: no overlapping metrics; baseline needs refreshing")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"hog/internal/experiments"
@@ -55,6 +57,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"delay":     experiments.PrintDelayScheduling,
 	"hod":       experiments.PrintHODComparison,
 	"grid":      experiments.PrintLargeGrid,
+	"mega":      experiments.PrintMegaGrid,
 	"sched":     experiments.PrintSchedScale,
 	"events":    experiments.PrintEventCounts,
 }
@@ -76,23 +79,62 @@ func runners() []runner {
 	return out
 }
 
+// main delegates to run so deferred profile writers flush on every exit
+// path — os.Exit would skip them and leave truncated pprof files.
 func main() {
+	if code := run(); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	quick := flag.Bool("quick", false, "reduced scale and single seed")
 	list := flag.Bool("list", false, "list experiment ids")
 	scale := flag.Float64("scale", 0, "override workload scale (0 = preset)")
 	scan := flag.Bool("scan", false, "force the linear-scan scheduler baseline (results must be bit-identical)")
+	heap := flag.Bool("heap", false, "force the binary-heap event queue baseline (results must be bit-identical)")
 	parallel := flag.Int("parallel", 1, "worker pool size for the trial matrix")
 	jsonOut := flag.Bool("json", false, "emit the versioned JSON results document")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settled live-heap numbers, not allocation noise
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	rs := runners()
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-10s %s\n", r.id, r.desc)
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Full()
@@ -103,6 +145,7 @@ func main() {
 		opts.Scale = *scale
 	}
 	opts.ScanScheduler = *scan
+	opts.HeapScheduler = *heap
 
 	// Validate the id before touching -out, so a typo can't truncate a
 	// previous artifact.
@@ -114,21 +157,21 @@ func main() {
 	}
 	if !valid {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 
 	if *jsonOut || *parallel > 1 {
 		if err := runHarness(*exp, opts, *parallel, *jsonOut, *outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	out, err := openOut(*outPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	for _, r := range rs {
 		if *exp != "all" && *exp != r.id {
@@ -143,8 +186,9 @@ func main() {
 	}
 	if err := closeOut(out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // openOut returns stdout, or the named file when -out is set.

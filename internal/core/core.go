@@ -110,6 +110,12 @@ type Config struct {
 	MapRed mapred.Config
 	Costs  JobCosts
 
+	// HeapScheduler runs the simulation on the retained binary-heap event
+	// queue instead of the default timing wheel. The two engines are
+	// bit-identical on every run (hogbench -heap, CI cmp gate); the knob
+	// exists for equivalence testing and benchmarking only.
+	HeapScheduler bool
+
 	// Zombie selects preemption daemon behaviour (grid systems only).
 	Zombie ZombieMode
 	// DiskCheckInterval is the zombie self-check period (ZombieDiskCheck).
@@ -170,6 +176,19 @@ func LargeGridConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Confi
 	return c
 }
 
+// MegaGridConfig returns the HOG configuration on the forty-site
+// MegaGridSites preset, for runs around 10,000 nodes — the MEGA-GRID scale
+// at which the timing-wheel engine's advantage over the binary heap is the
+// headline number. Everything except the site list matches HOGConfig; the
+// provisioning bound is widened further than LARGE-GRID's because filling
+// ten thousand slots takes correspondingly longer.
+func MegaGridConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Config {
+	c := HOGConfig(targetNodes, churn, seed)
+	c.Grid.Sites = grid.MegaGridSites(churn)
+	c.Grid.ProvisionBound = 12 * sim.Hour
+	return c
+}
+
 // DedicatedClusterConfig returns the Table III comparison cluster: one
 // master (implicit, the stable server), 20 slave nodes with 4 map + 1 reduce
 // slots and 10 with 2 map + 1 reduce slots, 1 Gbps Ethernet, one rack,
@@ -209,6 +228,10 @@ type worker struct {
 	node   *grid.Node
 	id     netmodel.NodeID
 	health workerHealth
+	// dn and tr are the worker's master-side records, held directly so the
+	// per-beat driver loop doesn't pay a map probe per worker per master.
+	dn *hdfs.DatanodeInfo
+	tr *mapred.TaskTracker
 }
 
 // System is a running HOG or dedicated-cluster instance.
@@ -224,6 +247,7 @@ type System struct {
 	mapper         *topology.Mapper
 	workers        map[netmodel.NodeID]*worker
 	order          []netmodel.NodeID
+	workerList     []*worker // join order, parallel to order
 	bus            *event.Bus
 	scenarios      []*Scenario
 	scenariosArmed bool
@@ -269,7 +293,7 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 		cfg.Costs = DefaultJobCosts()
 	}
 	s := &System{
-		Eng:      sim.New(cfg.Seed),
+		Eng:      sim.NewEngine(sim.Config{Seed: cfg.Seed, HeapScheduler: cfg.HeapScheduler}),
 		cfg:      cfg,
 		mapper:   topology.NewMapper(),
 		workers:  make(map[netmodel.NodeID]*worker),
@@ -308,15 +332,18 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 
 	// Heartbeat driver: healthy workers report to both masters, zombies
 	// only to the JobTracker (their datanode died with the working dir).
+	// The loop walks worker records directly — at MEGA-GRID scale this
+	// single closure touches every worker every beat, and the old
+	// three-maps-per-worker probing dominated whole runs.
 	hb := s.JT.Config().HeartbeatInterval
 	s.Eng.Every(hb, func() {
-		for _, id := range s.order {
-			switch s.workers[id].health {
+		for _, w := range s.workerList {
+			switch w.health {
 			case workerHealthy:
-				s.NN.Heartbeat(id)
-				s.JT.Heartbeat(id)
+				s.NN.HeartbeatDatanode(w.dn)
+				s.JT.HeartbeatTracker(w.tr)
 			case workerZombie:
-				s.JT.Heartbeat(id)
+				s.JT.HeartbeatTracker(w.tr)
 			}
 		}
 	})
@@ -337,8 +364,8 @@ func (s *System) Subscribe(o event.Observer) { s.bus.Subscribe(o) }
 // reportedAlive counts trackers the JobTracker still believes alive.
 func (s *System) reportedAlive() int {
 	n := 0
-	for _, id := range s.order {
-		if t := s.JT.Tracker(id); t != nil && t.Alive {
+	for _, w := range s.workerList {
+		if w.tr != nil && w.tr.Alive {
 			n++
 		}
 	}
@@ -357,13 +384,15 @@ func (s *System) buildStatic() {
 			host := fmt.Sprintf("node%03d.%s", seq, g.Domain)
 			id := s.Net.AddNode(site, host)
 			s.Disk.SetCapacity(id, g.DiskBytes)
-			s.NN.Register(id, host)
+			dn := s.NN.Register(id, host)
 			tr := s.JT.RegisterTracker(id, host, s.mapper.Site(host), g.MapSlots, g.ReduceSlots)
 			if g.Speed > 0 {
 				tr.Speed = g.Speed
 			}
-			s.workers[id] = &worker{id: id, health: workerHealthy}
+			w := &worker{id: id, health: workerHealthy, dn: dn, tr: tr}
+			s.workers[id] = w
 			s.order = append(s.order, id)
+			s.workerList = append(s.workerList, w)
 			if s.bus.Active() {
 				ev := event.At(event.NodeJoined, s.Eng.Now())
 				ev.Node = id
@@ -377,10 +406,12 @@ func (s *System) buildStatic() {
 // onJoin starts the Hadoop daemons on a fresh glide-in.
 func (s *System) onJoin(n *grid.Node) {
 	s.Disk.SetCapacity(n.ID, n.DiskCapacity)
-	s.NN.Register(n.ID, n.Hostname)
-	s.JT.RegisterTracker(n.ID, n.Hostname, s.mapper.Site(n.Hostname), n.MapSlots, n.ReduceSlots)
-	s.workers[n.ID] = &worker{node: n, id: n.ID, health: workerHealthy}
+	dn := s.NN.Register(n.ID, n.Hostname)
+	tr := s.JT.RegisterTracker(n.ID, n.Hostname, s.mapper.Site(n.Hostname), n.MapSlots, n.ReduceSlots)
+	w := &worker{node: n, id: n.ID, health: workerHealthy, dn: dn, tr: tr}
+	s.workers[n.ID] = w
 	s.order = append(s.order, n.ID)
+	s.workerList = append(s.workerList, w)
 }
 
 // onPreempt applies the configured daemon behaviour when a site kills the

@@ -11,10 +11,14 @@ package disk
 import "hog/internal/netmodel"
 
 // Tracker accounts disk space per node. It is driven from the simulation
-// loop and is not safe for concurrent use.
+// loop and is not safe for concurrent use. Node IDs are dense small
+// integers (netmodel hands them out sequentially), so the accounting lives
+// in flat slices: Free sits on the HDFS placement hot path, where it is
+// called once per candidate datanode per block write, and an array load is
+// far cheaper than a map probe at 10k-node scale.
 type Tracker struct {
-	capacity map[netmodel.NodeID]float64
-	used     map[netmodel.NodeID]float64
+	capacity []float64
+	used     []float64
 	// OnOverflow, if set, is invoked when a Reserve fails; HOG wires this
 	// to the "worker node out of disk" failure path.
 	OnOverflow func(n netmodel.NodeID, requested float64)
@@ -22,26 +26,51 @@ type Tracker struct {
 }
 
 // NewTracker returns an empty tracker.
-func NewTracker() *Tracker {
-	return &Tracker{
-		capacity: make(map[netmodel.NodeID]float64),
-		used:     make(map[netmodel.NodeID]float64),
+func NewTracker() *Tracker { return &Tracker{} }
+
+// grow ensures the accounting arrays cover node n.
+func (t *Tracker) grow(n netmodel.NodeID) {
+	if int(n) < len(t.capacity) {
+		return
 	}
+	need := int(n) + 1
+	if need < 2*len(t.capacity) {
+		need = 2 * len(t.capacity)
+	}
+	cap2 := make([]float64, need)
+	used2 := make([]float64, need)
+	copy(cap2, t.capacity)
+	copy(used2, t.used)
+	t.capacity, t.used = cap2, used2
 }
 
 // SetCapacity registers (or updates) a node's scratch capacity in bytes.
 func (t *Tracker) SetCapacity(n netmodel.NodeID, bytes float64) {
+	t.grow(n)
 	t.capacity[n] = bytes
 }
 
 // Capacity returns the node's capacity (0 for unknown nodes).
-func (t *Tracker) Capacity(n netmodel.NodeID) float64 { return t.capacity[n] }
+func (t *Tracker) Capacity(n netmodel.NodeID) float64 {
+	if int(n) >= len(t.capacity) {
+		return 0
+	}
+	return t.capacity[n]
+}
 
 // Used returns the bytes currently reserved on the node.
-func (t *Tracker) Used(n netmodel.NodeID) float64 { return t.used[n] }
+func (t *Tracker) Used(n netmodel.NodeID) float64 {
+	if int(n) >= len(t.used) {
+		return 0
+	}
+	return t.used[n]
+}
 
 // Free returns capacity minus used, never negative.
 func (t *Tracker) Free(n netmodel.NodeID) float64 {
+	if int(n) >= len(t.capacity) {
+		return 0
+	}
 	f := t.capacity[n] - t.used[n]
 	if f < 0 {
 		return 0
@@ -52,6 +81,9 @@ func (t *Tracker) Free(n netmodel.NodeID) float64 {
 // Utilization returns used/capacity in [0,1]; 0 for unknown or zero-capacity
 // nodes.
 func (t *Tracker) Utilization(n netmodel.NodeID) float64 {
+	if int(n) >= len(t.capacity) {
+		return 0
+	}
 	c := t.capacity[n]
 	if c <= 0 {
 		return 0
@@ -65,6 +97,7 @@ func (t *Tracker) Reserve(n netmodel.NodeID, bytes float64) bool {
 	if bytes < 0 {
 		panic("disk: negative reservation")
 	}
+	t.grow(n)
 	if t.used[n]+bytes > t.capacity[n] {
 		t.overflows++
 		if t.OnOverflow != nil {
@@ -82,6 +115,7 @@ func (t *Tracker) Release(n netmodel.NodeID, bytes float64) {
 	if bytes < 0 {
 		panic("disk: negative release")
 	}
+	t.grow(n)
 	t.used[n] -= bytes
 	if t.used[n] < 0 {
 		t.used[n] = 0
@@ -90,7 +124,10 @@ func (t *Tracker) Release(n netmodel.NodeID, bytes float64) {
 
 // Clear drops all usage on a node (the site wiped the working directory
 // after preemption) but keeps its capacity registered.
-func (t *Tracker) Clear(n netmodel.NodeID) { t.used[n] = 0 }
+func (t *Tracker) Clear(n netmodel.NodeID) {
+	t.grow(n)
+	t.used[n] = 0
+}
 
 // Overflows returns the number of failed reservations so far.
 func (t *Tracker) Overflows() int { return t.overflows }

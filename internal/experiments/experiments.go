@@ -35,11 +35,17 @@ type Options struct {
 	// scan-vs-indexed cmp gate enforces exactly that, which is also why this
 	// knob is deliberately absent from the JSON document's options block.
 	ScanScheduler bool
+	// HeapScheduler forces the retained binary-heap event queue in every
+	// simulated system (hogbench -heap). Like ScanScheduler it is
+	// bit-identical to the default (timing-wheel) path, enforced by CI's
+	// wheel-vs-heap cmp gate, and therefore absent from the JSON document.
+	HeapScheduler bool
 }
 
 // tune applies the option-level knobs to a built core config.
 func (o Options) tune(cfg core.Config) core.Config {
 	cfg.MapRed.ScanScheduler = o.ScanScheduler
+	cfg.HeapScheduler = o.HeapScheduler
 	return cfg
 }
 

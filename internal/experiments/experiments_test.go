@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"hog/internal/grid"
 	"hog/internal/sim"
 	"hog/internal/workload"
 )
@@ -205,4 +206,40 @@ func TestQuickAndFullPresets(t *testing.T) {
 		t.Fatal("full sweep must use 3 seeds (paper: 3 runs per point)")
 	}
 	_ = workload.Table1()
+}
+
+// TestLargeGridEngineEquivalence runs the full LARGE-GRID system — ~1000
+// nodes, provisioning, churn, workload — under the timing wheel and the
+// retained binary heap. The engines must agree bit-for-bit: same response,
+// same event count, same flow census, same failures.
+func TestLargeGridEngineEquivalence(t *testing.T) {
+	wheel := LargeGrid(Options{Scale: 0.1, Seeds: []int64{1}})
+	heap := LargeGrid(Options{Scale: 0.1, Seeds: []int64{1}, HeapScheduler: true})
+	if wheel != heap {
+		t.Fatalf("engine paths diverge at 1000 nodes:\nwheel: %+v\nheap:  %+v", wheel, heap)
+	}
+	if wheel.Response <= 0 || wheel.EventsFired == 0 {
+		t.Fatalf("degenerate run: %+v", wheel)
+	}
+}
+
+// TestMegaGridShape pins the MEGA-GRID preset's shape: forty sites and
+// enough aggregate capacity for the ten-thousand-node target.
+func TestMegaGridShape(t *testing.T) {
+	sites := grid.MegaGridSites(grid.ChurnStable)
+	if len(sites) != 40 {
+		t.Fatalf("MegaGridSites has %d sites, want 40", len(sites))
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if seen[s.Name] {
+			t.Fatalf("duplicate site %q", s.Name)
+		}
+		seen[s.Name] = true
+		total += s.Capacity
+	}
+	if total < 10500 {
+		t.Fatalf("aggregate capacity %d too small for a 10000-node target", total)
+	}
 }

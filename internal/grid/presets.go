@@ -81,6 +81,55 @@ func LargeGridSites(profile ChurnProfile) []SiteConfig {
 	return append(sites, extra...)
 }
 
+// MegaGridSites returns a synthetic forty-site, ~11,000-slot grid — the
+// MEGA-GRID preset for ten-thousand-node runs, two orders of magnitude past
+// the paper's 180 nodes. The first twelve sites are the LargeGridSites
+// preset; the rest are patterned on the long tail of OSG resource
+// providers, with capacities from 140 to 520 slots. Uplinks stay at the OSG
+// preset's 2.4 Gbps, so WAN contention grows with the pool exactly as the
+// fluid-flow model predicts — at this scale the simulation itself is the
+// benchmark: tens of thousands of clustered periodic timers are what the
+// timing-wheel engine exists for.
+func MegaGridSites(profile ChurnProfile) []SiteConfig {
+	sites := LargeGridSites(profile)
+	extra := []SiteConfig{
+		{Name: "CALTECH_T2", Domain: "caltech.edu", Capacity: 520},
+		{Name: "FLORIDA_T2", Domain: "phys.ufl.edu", Capacity: 500},
+		{Name: "NERSC_PDSF", Domain: "nersc.gov", Capacity: 480},
+		{Name: "OU_OSCER", Domain: "ou.edu", Capacity: 470},
+		{Name: "UCR_HEP", Domain: "ucr.edu", Capacity: 460},
+		{Name: "IU_OSG", Domain: "iu.edu", Capacity: 450},
+		{Name: "UCHICAGO_MWT2", Domain: "uchicago.edu", Capacity: 440},
+		{Name: "VANDERBILT_ACCRE", Domain: "vanderbilt.edu", Capacity: 430},
+		{Name: "RICE_RCSG", Domain: "rice.edu", Capacity: 420},
+		{Name: "UMICH_AGLT2B", Domain: "umich.edu", Capacity: 410},
+		{Name: "LSU_CCT", Domain: "lsu.edu", Capacity: 400},
+		{Name: "RENCI_OSG", Domain: "renci.org", Capacity: 390},
+		{Name: "CORNELL_CAC", Domain: "cornell.edu", Capacity: 280},
+		{Name: "UCSB_CSC", Domain: "ucsb.edu", Capacity: 270},
+		{Name: "BUFFALO_CCR", Domain: "buffalo.edu", Capacity: 260},
+		{Name: "UVA_ITC", Domain: "virginia.edu", Capacity: 250},
+		{Name: "CLEMSON_PALMETTO", Domain: "clemson.edu", Capacity: 245},
+		{Name: "UTA_SWT2", Domain: "uta.edu", Capacity: 240},
+		{Name: "OSU_OSC", Domain: "osu.edu", Capacity: 230},
+		{Name: "UNM_CARC", Domain: "unm.edu", Capacity: 220},
+		{Name: "UIOWA_HPC", Domain: "uiowa.edu", Capacity: 210},
+		{Name: "UMISS_HPC", Domain: "olemiss.edu", Capacity: 200},
+		{Name: "COLORADO_RC", Domain: "colorado.edu", Capacity: 190},
+		{Name: "UKY_LCC", Domain: "uky.edu", Capacity: 180},
+		{Name: "DUKE_SCSC", Domain: "duke.edu", Capacity: 170},
+		{Name: "GATECH_PACE", Domain: "gatech.edu", Capacity: 160},
+		{Name: "USC_HPCC", Domain: "usc.edu", Capacity: 150},
+		{Name: "ND_CRC", Domain: "nd.edu", Capacity: 140},
+	}
+	for i := range extra {
+		extra[i].UplinkBps = 300e6
+		extra[i].DownlinkBps = 300e6
+		applyChurn(&extra[i], profile)
+	}
+	return append(sites, extra...)
+}
+
 // DefaultPoolConfig returns HOG's worker configuration: one map and one
 // reduce slot per node (§IV.A), 40 GB scratch disk, and a provisioning delay
 // covering batch queue wait plus the 75 MB package download and startup.

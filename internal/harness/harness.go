@@ -87,6 +87,7 @@ func Specs() []Spec {
 		{"delay", "A-DELAY: FIFO vs delay scheduling", expandDelay},
 		{"hod", "A-HOD: Hadoop On Demand baseline", expandHOD},
 		{"grid", "LARGE-GRID: ~1000 nodes across 12 sites", expandLargeGrid},
+		{"mega", "MEGA-GRID: ~10000 nodes across 40 sites", expandMegaGrid},
 		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
 		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
 	}
@@ -412,6 +413,23 @@ func expandLargeGrid(opts experiments.Options) []Trial {
 			r := experiments.LargeGrid(opts)
 			return Metrics{
 				"response_s":      r.Response.Seconds(),
+				"events_fired":    float64(r.EventsFired),
+				"flows_started":   float64(r.FlowsStarted),
+				"cross_site_frac": r.CrossSiteFrac,
+				"jobs_failed":     float64(r.JobsFailed),
+			}
+		},
+	}}
+}
+
+func expandMegaGrid(opts experiments.Options) []Trial {
+	return []Trial{{
+		Experiment: "mega", Point: "nodes=10000", Seed: opts.Seeds[0], Nodes: 10000, Scale: opts.Scale,
+		run: func() Metrics {
+			r := experiments.MegaGrid(opts)
+			return Metrics{
+				"response_s":      r.Response.Seconds(),
+				"reached_nodes":   float64(r.Reached),
 				"events_fired":    float64(r.EventsFired),
 				"flows_started":   float64(r.FlowsStarted),
 				"cross_site_frac": r.CrossSiteFrac,

@@ -47,6 +47,12 @@ func (nn *Namenode) BalanceOnce(threshold float64, maxMoves int) int {
 			// down can still be over-full.
 			break
 		}
+		// Candidate blocks of this source, in ascending BlockID order: one
+		// sort per source per round instead of one per (source, target)
+		// probe, and an order that never depends on map iteration — the
+		// balancer's move set is identical on every run over identical
+		// state (see TestBalanceOnceDeterministic).
+		srcCands := nn.sortedBlocksOf(over.d)
 		// Move blocks from the tail (most underutilised) upward, keeping the
 		// working utilisations current as moves are scheduled: without the
 		// adjustment one round kept draining the same over-full node against
@@ -59,7 +65,7 @@ func (nn *Namenode) BalanceOnce(threshold float64, maxMoves int) int {
 				// under-full, so ascending order no longer holds here.
 				continue
 			}
-			bid, ok := nn.pickMovableBlock(over.d, under.d)
+			bid, ok := nn.pickMovableBlock(srcCands, under.d)
 			if !ok {
 				continue
 			}
@@ -78,15 +84,21 @@ func (nn *Namenode) BalanceOnce(threshold float64, maxMoves int) int {
 	return moves
 }
 
-// pickMovableBlock finds a block on src that dst does not host and fits on
-// dst.
-func (nn *Namenode) pickMovableBlock(src, dst *DatanodeInfo) (BlockID, bool) {
-	var ids []BlockID
-	for bid := range src.blocks {
+// sortedBlocksOf returns the blocks hosted on d in ascending BlockID order
+// — the deterministic candidate order every balancer probe walks.
+func (nn *Namenode) sortedBlocksOf(d *DatanodeInfo) []BlockID {
+	ids := make([]BlockID, 0, len(d.blocks))
+	for bid := range d.blocks {
 		ids = append(ids, bid)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, bid := range ids {
+	return ids
+}
+
+// pickMovableBlock finds the first candidate block (ascending BlockID) that
+// dst does not already host, is not in flight to dst, and fits on dst.
+func (nn *Namenode) pickMovableBlock(cands []BlockID, dst *DatanodeInfo) (BlockID, bool) {
+	for _, bid := range cands {
 		b := nn.blocks[bid]
 		if b == nil {
 			continue

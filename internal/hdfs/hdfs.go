@@ -100,6 +100,10 @@ type DatanodeInfo struct {
 	Alive         bool
 	LastHeartbeat sim.Time
 	blocks        map[BlockID]struct{}
+	// siteIx is the dense index of Site in the namenode's site registry;
+	// the placement hot path counts replicas per site through it instead of
+	// hashing site name strings.
+	siteIx int
 }
 
 // Blocks returns the number of block replicas hosted on the datanode.
@@ -159,11 +163,23 @@ type Namenode struct {
 	mapper *topology.Mapper
 
 	datanodes map[netmodel.NodeID]*DatanodeInfo
-	blocks    map[BlockID]*BlockInfo
-	files     map[string]*FileInfo
-	nextBlock BlockID
+	// dnOrder holds every registered datanode in ascending ID order — the
+	// deterministic base order the placement policy and the dead scan need,
+	// maintained incrementally instead of sorted per call.
+	dnOrder []*DatanodeInfo
+	// siteIx assigns each distinct awareness site a dense index; siteCands
+	// and siteCounts are reusable scratch for the placement policy's
+	// per-site greedy spread (see chooseTargets).
+	siteIx     map[string]int
+	siteCands  [][]int32
+	siteCounts []int
+	siteHeads  []int
+	candBuf    []*DatanodeInfo
+	blocks     map[BlockID]*BlockInfo
+	files      map[string]*FileInfo
+	nextBlock  BlockID
 
-	replQueue   []BlockID
+	replQueue   blockRing
 	replQueued  map[BlockID]struct{}
 	replStreams int
 	streams     map[*replStream]struct{}
@@ -202,6 +218,7 @@ func NewNamenode(eng *sim.Engine, net *netmodel.Network, dt *disk.Tracker, cfg C
 		cfg:        cfg.withDefaults(),
 		mapper:     topology.NewMapper(),
 		datanodes:  make(map[netmodel.NodeID]*DatanodeInfo),
+		siteIx:     make(map[string]int),
 		blocks:     make(map[BlockID]*BlockInfo),
 		files:      make(map[string]*FileInfo),
 		replQueued: make(map[BlockID]struct{}),
@@ -247,13 +264,35 @@ func (nn *Namenode) Register(id netmodel.NodeID, hostname string) *DatanodeInfo 
 		LastHeartbeat: nn.eng.Now(),
 		blocks:        make(map[BlockID]struct{}),
 	}
+	ix, ok := nn.siteIx[d.Site]
+	if !ok {
+		ix = len(nn.siteIx)
+		nn.siteIx[d.Site] = ix
+		nn.siteCands = append(nn.siteCands, nil)
+		nn.siteCounts = append(nn.siteCounts, 0)
+		nn.siteHeads = append(nn.siteHeads, 0)
+	}
+	d.siteIx = ix
 	nn.datanodes[id] = d
+	// Nodes register with ascending IDs in practice; the insertion walk is
+	// a no-op then, and keeps dnOrder correct if they ever do not.
+	nn.dnOrder = append(nn.dnOrder, d)
+	for i := len(nn.dnOrder) - 1; i > 0 && nn.dnOrder[i-1].ID > id; i-- {
+		nn.dnOrder[i], nn.dnOrder[i-1] = nn.dnOrder[i-1], nn.dnOrder[i]
+	}
 	return d
 }
 
 // Heartbeat records a datanode heartbeat.
 func (nn *Namenode) Heartbeat(id netmodel.NodeID) {
-	if d, ok := nn.datanodes[id]; ok && d.Alive {
+	nn.HeartbeatDatanode(nn.datanodes[id])
+}
+
+// HeartbeatDatanode is Heartbeat for callers that already hold the info —
+// the per-beat driver loop over ten thousand workers skips ten thousand map
+// probes this way.
+func (nn *Namenode) HeartbeatDatanode(d *DatanodeInfo) {
+	if d != nil && d.Alive {
 		d.LastHeartbeat = nn.eng.Now()
 	}
 }
@@ -264,8 +303,8 @@ func (nn *Namenode) Datanode(id netmodel.NodeID) *DatanodeInfo { return nn.datan
 // AliveDatanodes returns live datanodes in ID order.
 func (nn *Namenode) AliveDatanodes() []*DatanodeInfo {
 	var out []*DatanodeInfo
-	for id := netmodel.NodeID(0); int(id) < nn.net.NumNodes(); id++ {
-		if d, ok := nn.datanodes[id]; ok && d.Alive {
+	for _, d := range nn.dnOrder {
+		if d.Alive {
 			out = append(out, d)
 		}
 	}
@@ -283,15 +322,16 @@ func (nn *Namenode) UnderReplicated() int { return len(nn.replQueued) }
 
 func (nn *Namenode) checkDead() {
 	now := nn.eng.Now()
-	// Sort the victims: markDead queues replication work and draws from the
-	// engine RNG, so processing order must not depend on map iteration.
+	// Collect victims from dnOrder: markDead queues replication work and
+	// draws from the engine RNG, so processing order must not depend on map
+	// iteration — dnOrder is already the deterministic ascending-ID order
+	// the old sort produced, without the per-scan sort.
 	var doomed []*DatanodeInfo
-	for _, d := range nn.datanodes {
+	for _, d := range nn.dnOrder {
 		if d.Alive && now-d.LastHeartbeat > nn.cfg.DeadTimeout {
 			doomed = append(doomed, d)
 		}
 	}
-	sort.Slice(doomed, func(i, j int) bool { return doomed[i].ID < doomed[j].ID })
 	for _, d := range doomed {
 		nn.markDead(d)
 	}

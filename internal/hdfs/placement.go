@@ -6,6 +6,88 @@ import (
 	"hog/internal/netmodel"
 )
 
+// gatherCandidates fills the namenode's candidate scratch buffer with every
+// live, non-excluded, non-draining datanode that has room for a block of
+// the given size — in ascending ID order (dnOrder is maintained sorted, so
+// no per-call sort) — then shuffles it with the engine's RNG so ties break
+// randomly but reproducibly. The scan plus shuffle is O(datanodes); the old
+// per-call sort made it O(datanodes log datanodes), the largest single cost
+// of a LARGE-GRID run.
+func (nn *Namenode) gatherCandidates(size float64, exclude map[netmodel.NodeID]struct{}) []*DatanodeInfo {
+	cands := nn.candBuf[:0]
+	for _, d := range nn.dnOrder {
+		if !d.Alive {
+			continue
+		}
+		if _, ex := exclude[d.ID]; ex {
+			continue
+		}
+		if _, draining := nn.decommissioning[d.ID]; draining {
+			continue
+		}
+		if nn.disk.Free(d.ID) >= size {
+			cands = append(cands, d)
+		}
+	}
+	nn.candBuf = cands
+	if len(cands) == 0 {
+		return cands
+	}
+	r := nn.eng.Rand()
+	r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return cands
+}
+
+// spreadAcrossSites appends up to n targets chosen from cands (in shuffled
+// order, skipping skipIx) to targets, greedily preferring sites hosting the
+// fewest replicas chosen so far, so ten replicas of a block land on all
+// five sites before doubling up anywhere. nn.siteCounts must hold the
+// per-site seed counts (existing replicas) on entry; it is scratch and is
+// left dirty.
+//
+// The greedy rule — "first candidate in shuffled order whose site count is
+// minimal" — is evaluated through per-site FIFO queues of candidate
+// positions: the winner is the earliest queue head among minimum-count
+// sites, which is the same candidate the original O(replicas × candidates)
+// rescan picked, at O(replicas × sites).
+func (nn *Namenode) spreadAcrossSites(cands []*DatanodeInfo, skipIx int, n int, targets []netmodel.NodeID) []netmodel.NodeID {
+	for s := range nn.siteCands {
+		nn.siteCands[s] = nn.siteCands[s][:0]
+	}
+	remaining := 0
+	for i, d := range cands {
+		if i == skipIx {
+			continue
+		}
+		nn.siteCands[d.siteIx] = append(nn.siteCands[d.siteIx], int32(i))
+		remaining++
+	}
+	heads := nn.siteHeads
+	for s := range heads {
+		heads[s] = 0
+	}
+	for len(targets) < n && remaining > 0 {
+		bestSite := -1
+		bestCount := int(^uint(0) >> 1)
+		bestPos := int32(0)
+		for s := range nn.siteCands {
+			if heads[s] >= len(nn.siteCands[s]) {
+				continue
+			}
+			c := nn.siteCounts[s]
+			if c < bestCount || (c == bestCount && nn.siteCands[s][heads[s]] < bestPos) {
+				bestSite, bestCount, bestPos = s, c, nn.siteCands[s][heads[s]]
+			}
+		}
+		d := cands[bestPos]
+		nn.siteCounts[bestSite]++
+		heads[bestSite]++
+		remaining--
+		targets = append(targets, d.ID)
+	}
+	return targets
+}
+
 // chooseTargets picks n distinct live datanodes with room for a block of the
 // given size, excluding the nodes in exclude. writer, if a live datanode, is
 // preferred for the first replica (Hadoop places replica one on the writing
@@ -18,47 +100,25 @@ import (
 // Fewer than n targets are returned when the cluster cannot satisfy the
 // request; callers queue the block for later re-replication.
 func (nn *Namenode) chooseTargets(writer netmodel.NodeID, size float64, n int, exclude map[netmodel.NodeID]struct{}) []netmodel.NodeID {
-	type cand struct {
-		d    *DatanodeInfo
-		free float64
-	}
-	var cands []cand
-	for _, d := range nn.datanodes {
-		if !d.Alive {
-			continue
-		}
-		if _, ex := exclude[d.ID]; ex {
-			continue
-		}
-		if _, draining := nn.decommissioning[d.ID]; draining {
-			continue
-		}
-		if free := nn.disk.Free(d.ID); free >= size {
-			cands = append(cands, cand{d, free})
-		}
-	}
-	if len(cands) == 0 || n <= 0 {
+	if n <= 0 {
 		return nil
 	}
-	// Deterministic base order, then shuffle with the engine's RNG so ties
-	// break randomly but reproducibly.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].d.ID < cands[j].d.ID })
-	r := nn.eng.Rand()
-	r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	cands := nn.gatherCandidates(size, exclude)
+	if len(cands) == 0 {
+		return nil
+	}
 
 	var targets []netmodel.NodeID
-	take := func(i int) {
-		targets = append(targets, cands[i].d.ID)
-		cands = append(cands[:i], cands[i+1:]...)
-	}
+	skipIx := -1
 
 	// Replica 1: the writer itself when possible (data locality for the
 	// producing task).
 	if w, ok := nn.datanodes[writer]; ok && w.Alive {
 		if _, ex := exclude[writer]; !ex && nn.disk.Free(writer) >= size {
 			for i := range cands {
-				if cands[i].d.ID == writer {
-					take(i)
+				if cands[i].ID == writer {
+					targets = append(targets, writer)
+					skipIx = i
 					break
 				}
 			}
@@ -66,92 +126,61 @@ func (nn *Namenode) chooseTargets(writer netmodel.NodeID, size float64, n int, e
 	}
 
 	if !nn.cfg.SiteAware {
-		for len(targets) < n && len(cands) > 0 {
-			take(0)
+		for i := 0; len(targets) < n && i < len(cands); i++ {
+			if i == skipIx {
+				continue
+			}
+			targets = append(targets, cands[i].ID)
 		}
 		return targets
 	}
 
-	// Site-aware spreading: greedily prefer sites hosting the fewest
-	// replicas chosen so far, so ten replicas of a block land on all five
-	// sites before doubling up anywhere.
-	siteCount := make(map[string]int)
+	// Site-aware spreading, seeded with the replicas chosen so far.
+	for s := range nn.siteCounts {
+		nn.siteCounts[s] = 0
+	}
 	for _, id := range targets {
-		siteCount[nn.datanodes[id].Site]++
+		nn.siteCounts[nn.datanodes[id].siteIx]++
 	}
-	for len(targets) < n && len(cands) > 0 {
-		best := -1
-		bestCount := int(^uint(0) >> 1)
-		for i := range cands {
-			c := siteCount[cands[i].d.Site]
-			if c < bestCount {
-				bestCount = c
-				best = i
-			}
-		}
-		siteCount[cands[best].d.Site]++
-		take(best)
-	}
-	return targets
+	return nn.spreadAcrossSites(cands, skipIx, n, targets)
 }
 
 // chooseReplicationTargets picks targets for re-replicating block b,
 // counting its existing replicas toward the site spread.
 func (nn *Namenode) chooseReplicationTargets(b *BlockInfo, n int) []netmodel.NodeID {
 	exclude := make(map[netmodel.NodeID]struct{}, len(b.replicas)+len(b.pending))
-	siteCount := make(map[string]int)
 	for id := range b.replicas {
 		exclude[id] = struct{}{}
-		if d, ok := nn.datanodes[id]; ok {
-			siteCount[d.Site]++
-		}
 	}
 	for id := range b.pending {
 		exclude[id] = struct{}{}
-		if d, ok := nn.datanodes[id]; ok {
-			siteCount[d.Site]++
-		}
 	}
 	if !nn.cfg.SiteAware {
 		return nn.chooseTargets(-1, b.Size, n, exclude)
 	}
+	if n <= 0 {
+		return nil
+	}
+	cands := nn.gatherCandidates(b.Size, exclude)
+	if len(cands) == 0 {
+		return nil
+	}
 	// Candidate pool as in chooseTargets, but seeded with the existing
 	// replicas' site counts.
-	type cand struct{ d *DatanodeInfo }
-	var cands []cand
-	for _, d := range nn.datanodes {
-		if !d.Alive {
-			continue
-		}
-		if _, ex := exclude[d.ID]; ex {
-			continue
-		}
-		if _, draining := nn.decommissioning[d.ID]; draining {
-			continue
-		}
-		if nn.disk.Free(d.ID) >= b.Size {
-			cands = append(cands, cand{d})
+	for s := range nn.siteCounts {
+		nn.siteCounts[s] = 0
+	}
+	for id := range b.replicas {
+		if d, ok := nn.datanodes[id]; ok {
+			nn.siteCounts[d.siteIx]++
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].d.ID < cands[j].d.ID })
-	r := nn.eng.Rand()
-	r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	var targets []netmodel.NodeID
-	for len(targets) < n && len(cands) > 0 {
-		best := -1
-		bestCount := int(^uint(0) >> 1)
-		for i := range cands {
-			c := siteCount[cands[i].d.Site]
-			if c < bestCount {
-				bestCount = c
-				best = i
-			}
+	for id := range b.pending {
+		if d, ok := nn.datanodes[id]; ok {
+			nn.siteCounts[d.siteIx]++
 		}
-		siteCount[cands[best].d.Site]++
-		targets = append(targets, cands[best].d.ID)
-		cands = append(cands[:best], cands[best+1:]...)
 	}
-	return targets
+	return nn.spreadAcrossSites(cands, -1, n, nil)
 }
 
 // SitesOf returns the distinct awareness sites currently hosting replicas of

@@ -15,6 +15,46 @@ type replStream struct {
 	flow *netmodel.Flow
 }
 
+// blockRing is the FIFO recovery queue, backed by a circular buffer. The
+// previous representation — append to a slice, advance with q = q[1:] —
+// pinned the backing array of every block ever queued for the life of the
+// namenode, O(total-ever-queued) memory under long churn scenarios; the
+// ring bounds memory to the maximum concurrent backlog and shrinks again
+// when a churn burst drains.
+type blockRing struct {
+	buf  []BlockID
+	head int
+	n    int
+}
+
+func (q *blockRing) len() int { return q.n }
+
+func (q *blockRing) push(bid BlockID) {
+	if q.n == len(q.buf) {
+		q.resize(2 * max(q.n, 8))
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = bid
+	q.n++
+}
+
+func (q *blockRing) pop() BlockID {
+	bid := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if len(q.buf) > 64 && q.n <= len(q.buf)/4 {
+		q.resize(len(q.buf) / 2)
+	}
+	return bid
+}
+
+func (q *blockRing) resize(size int) {
+	buf := make([]BlockID, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}
+
 // queueReplication marks a block under-replicated. Duplicate enqueues are
 // coalesced.
 func (nn *Namenode) queueReplication(bid BlockID) {
@@ -25,7 +65,7 @@ func (nn *Namenode) queueReplication(bid BlockID) {
 		return
 	}
 	nn.replQueued[bid] = struct{}{}
-	nn.replQueue = append(nn.replQueue, bid)
+	nn.replQueue.push(bid)
 }
 
 // pumpReplication starts recovery transfers up to the stream limit. Each
@@ -34,9 +74,8 @@ func (nn *Namenode) queueReplication(bid BlockID) {
 // re-queued if still short (e.g. the source died mid-copy, or the factor is
 // 10 and one stream only adds one copy at a time).
 func (nn *Namenode) pumpReplication() {
-	for nn.replStreams < nn.cfg.MaxReplicationStreams && len(nn.replQueue) > 0 {
-		bid := nn.replQueue[0]
-		nn.replQueue = nn.replQueue[1:]
+	for nn.replStreams < nn.cfg.MaxReplicationStreams && nn.replQueue.len() > 0 {
+		bid := nn.replQueue.pop()
 		delete(nn.replQueued, bid)
 		b := nn.blocks[bid]
 		if b == nil {

@@ -45,11 +45,15 @@ type JobTracker struct {
 	disk *disk.Tracker
 	cfg  Config
 
-	trackers   map[netmodel.NodeID]*TaskTracker
-	jobs       []*Job
-	nextID     JobID
-	active     int // running or pending jobs
-	attemptSeq int64
+	trackers map[netmodel.NodeID]*TaskTracker
+	// trackerOrder holds every registered tracker in ascending node order:
+	// the deterministic scan order for dead detection, without per-scan
+	// sorting at ten-thousand-tracker scale.
+	trackerOrder []*TaskTracker
+	jobs         []*Job
+	nextID       JobID
+	active       int // running or pending jobs
+	attemptSeq   int64
 
 	// activeList holds unfinished jobs in submission order; the indexed
 	// assignment path iterates it instead of re-skipping finished jobs.
@@ -142,6 +146,12 @@ func (jt *JobTracker) RegisterTracker(node netmodel.NodeID, hostname, site strin
 		attempts:      make(map[*attempt]struct{}),
 	}
 	jt.trackers[node] = t
+	// Trackers register with ascending node IDs in practice; the insertion
+	// walk keeps trackerOrder correct if they ever do not.
+	jt.trackerOrder = append(jt.trackerOrder, t)
+	for i := len(jt.trackerOrder) - 1; i > 0 && jt.trackerOrder[i-1].Node > node; i-- {
+		jt.trackerOrder[i], jt.trackerOrder[i-1] = jt.trackerOrder[i-1], jt.trackerOrder[i]
+	}
 	return t
 }
 
@@ -151,8 +161,8 @@ func (jt *JobTracker) Tracker(node netmodel.NodeID) *TaskTracker { return jt.tra
 // AliveTrackers returns live trackers in node order.
 func (jt *JobTracker) AliveTrackers() []*TaskTracker {
 	var out []*TaskTracker
-	for id := netmodel.NodeID(0); int(id) < jt.net.NumNodes(); id++ {
-		if t, ok := jt.trackers[id]; ok && t.Alive {
+	for _, t := range jt.trackerOrder {
+		if t.Alive {
 			out = append(out, t)
 		}
 	}
@@ -162,8 +172,14 @@ func (jt *JobTracker) AliveTrackers() []*TaskTracker {
 // Heartbeat records a tracker heartbeat and, as in Hadoop, triggers task
 // assignment for its free slots.
 func (jt *JobTracker) Heartbeat(node netmodel.NodeID) {
-	t, ok := jt.trackers[node]
-	if !ok || !t.Alive {
+	jt.HeartbeatTracker(jt.trackers[node])
+}
+
+// HeartbeatTracker is Heartbeat for callers that already hold the tracker —
+// the per-beat driver loop over ten thousand workers skips ten thousand map
+// probes this way.
+func (jt *JobTracker) HeartbeatTracker(t *TaskTracker) {
+	if t == nil || !t.Alive {
 		return
 	}
 	t.LastHeartbeat = jt.eng.Now()
@@ -179,11 +195,13 @@ func (jt *JobTracker) Submit(cfg JobConfig) *Job {
 		panic(fmt.Sprintf("mapred: input file %q does not exist", cfg.InputFile))
 	}
 	j := &Job{
-		ID:         jt.nextID,
-		Config:     cfg,
-		State:      JobPending,
-		SubmitTime: jt.eng.Now(),
-		skipSince:  -1,
+		ID:            jt.nextID,
+		Config:        cfg,
+		State:         JobPending,
+		SubmitTime:    jt.eng.Now(),
+		skipSince:     -1,
+		specMapMin:    specMinInvalid,
+		specReduceMin: specMinInvalid,
 	}
 	jt.nextID++
 	for i, bid := range fi.Blocks {
@@ -215,13 +233,14 @@ func (jt *JobTracker) ActiveJobs() int { return jt.active }
 
 func (jt *JobTracker) checkDead() {
 	now := jt.eng.Now()
+	// trackerOrder is already the ascending-node order the old per-scan
+	// sort produced; markDead consumes RNG, so order must stay exact.
 	var doomed []*TaskTracker
-	for _, t := range jt.trackers {
+	for _, t := range jt.trackerOrder {
 		if t.Alive && now-t.LastHeartbeat > jt.cfg.TrackerTimeout {
 			doomed = append(doomed, t)
 		}
 	}
-	sort.Slice(doomed, func(i, j int) bool { return doomed[i].Node < doomed[j].Node })
 	for _, t := range doomed {
 		jt.markDead(t)
 	}
@@ -378,11 +397,11 @@ func (jt *JobTracker) reExecuteMap(j *Job, m *mapTask) {
 // preference and speculative execution, mirroring Hadoop 0.20's
 // JobInProgress.obtainNewMapTask/obtainNewReduceTask logic.
 func (jt *JobTracker) assign(t *TaskTracker) {
-	if jt.diskBroken(t.Node) {
-		// A zombie's assignments would fail immediately; Hadoop still
-		// assigns (it cannot know), so we do too — the attempt fails fast
-		// and wastes the slot, reproducing §IV.D.1.
-	}
+	// A zombie's assignments would fail immediately; Hadoop still assigns
+	// (it cannot know), so we do too — the attempt fails fast and wastes
+	// the slot, reproducing §IV.D.1. (No diskBroken probe here: the
+	// tracker heartbeats on every beat of every worker, and the answer
+	// would not change the assignment anyway.)
 	for t.FreeMapSlots() > 0 {
 		if !jt.assignOneMap(t) {
 			break

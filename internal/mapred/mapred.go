@@ -288,10 +288,27 @@ type Job struct {
 	doneMapN      int
 	doneReduceDur sim.Time
 	doneReduceN   int
+
+	// specMapMin/specReduceMin cache the minimum oldestRunningStart over
+	// the job's running tasks of each kind (indexed path only): if even the
+	// job's oldest running attempt is not a straggler, no task is, and the
+	// per-slot speculation probe skips its whole running-task walk. The
+	// cache is invalidated (specMinInvalid) by noteMapTask/noteReduceTask,
+	// which every attempt or ghost mutation already funnels through, and
+	// recomputed lazily; -1 means no running attempts.
+	specMapMin    sim.Time
+	specReduceMin sim.Time
 }
 
-// blacklisted reports whether the job refuses assignments on the node.
-func (j *Job) blacklisted(n netmodel.NodeID) bool { return j.blacklistedSet[n] }
+// specMinInvalid marks a stale specMapMin/specReduceMin cache.
+const specMinInvalid = sim.Time(-2)
+
+// blacklisted reports whether the job refuses assignments on the node. The
+// empty-set guard keeps the common case — no blacklist at all — free of a
+// map probe, which matters at one call per job per free slot per heartbeat.
+func (j *Job) blacklisted(n netmodel.NodeID) bool {
+	return len(j.blacklistedSet) > 0 && j.blacklistedSet[n]
+}
 
 type reservation struct {
 	node  netmodel.NodeID

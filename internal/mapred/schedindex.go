@@ -6,6 +6,7 @@ import (
 
 	"hog/internal/hdfs"
 	"hog/internal/netmodel"
+	"hog/internal/sim"
 )
 
 // This file implements the incrementally indexed task-assignment path. The
@@ -169,6 +170,7 @@ func (jt *JobTracker) noteMapTask(m *mapTask) {
 	if !jt.indexed() || m.job.idx == nil {
 		return
 	}
+	m.job.specMapMin = specMinInvalid
 	c := jt.classOfMap(m)
 	if c == m.idxClass {
 		return
@@ -195,6 +197,7 @@ func (jt *JobTracker) noteReduceTask(r *reduceTask) {
 	if !jt.indexed() || r.job.idx == nil {
 		return
 	}
+	r.job.specReduceMin = specMinInvalid
 	c := jt.classOfReduce(r)
 	if c == r.idxClass {
 		return
@@ -361,9 +364,20 @@ func (jt *JobTracker) assignOneMapIndexed(t *TaskTracker) bool {
 
 // speculativeMapIndexed walks only the job's running maps (in task order)
 // instead of every task; membership already encodes !done && failures<Max.
+// The straggler gate short-circuits the walk entirely in the common case:
+// isStraggler is monotone in the attempt's start time, so if the job's
+// oldest running start does not qualify, nothing does.
 func (jt *JobTracker) speculativeMapIndexed(j *Job, t *TaskTracker) *mapTask {
 	if !jt.cfg.Speculative {
 		return nil
+	}
+	if !jt.cfg.EagerRedundancy {
+		if j.specMapMin == specMinInvalid {
+			j.specMapMin = jt.oldestRunningOfKind(j, jobKindMap)
+		}
+		if !jt.isStraggler(j, jobKindMap, j.specMapMin) {
+			return nil
+		}
 	}
 	for _, i := range j.idx.runningMaps.v {
 		m := j.maps[i]
@@ -384,6 +398,26 @@ func (jt *JobTracker) speculativeMapIndexed(j *Job, t *TaskTracker) *mapTask {
 		}
 	}
 	return nil
+}
+
+// oldestRunningOfKind recomputes a job's minimum running start for the
+// speculation gate; runs once per invalidation, not per probe.
+func (jt *JobTracker) oldestRunningOfKind(j *Job, kind jobKind) sim.Time {
+	oldest := sim.Time(-1)
+	if kind == jobKindMap {
+		for _, i := range j.idx.runningMaps.v {
+			if s := j.maps[i].oldestRunningStart(); s >= 0 && (oldest < 0 || s < oldest) {
+				oldest = s
+			}
+		}
+	} else {
+		for _, i := range j.idx.runningReduces.v {
+			if s := j.reduces[i].oldestRunningStart(); s >= 0 && (oldest < 0 || s < oldest) {
+				oldest = s
+			}
+		}
+	}
+	return oldest
 }
 
 func (jt *JobTracker) assignOneReduceIndexed(t *TaskTracker) bool {
@@ -419,6 +453,14 @@ func (jt *JobTracker) assignOneReduceIndexed(t *TaskTracker) bool {
 func (jt *JobTracker) speculativeReduceIndexed(j *Job, t *TaskTracker) *reduceTask {
 	if !jt.cfg.Speculative {
 		return nil
+	}
+	if !jt.cfg.EagerRedundancy {
+		if j.specReduceMin == specMinInvalid {
+			j.specReduceMin = jt.oldestRunningOfKind(j, jobKindReduce)
+		}
+		if !jt.isStraggler(j, jobKindReduce, j.specReduceMin) {
+			return nil
+		}
 	}
 	for _, i := range j.idx.runningReduces.v {
 		r := j.reduces[i]

@@ -1,11 +1,18 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock and a priority queue of events. All
-// model code (network transfers, heartbeats, task executions, preemptions)
-// runs as callbacks scheduled on the engine; two runs with the same seed and
-// the same schedule of calls produce byte-identical results. Determinism is
+// The engine maintains a virtual clock and an event queue. All model code
+// (network transfers, heartbeats, task executions, preemptions) runs as
+// callbacks scheduled on the engine; two runs with the same seed and the
+// same schedule of calls produce byte-identical results. Determinism is
 // what makes the paper's three-runs-per-point evaluation reproducible: each
 // "run" is just a different seed.
+//
+// Two interchangeable queue implementations back the engine: the default
+// hierarchical timing wheel (wheel.go), which makes schedule/cancel O(1) for
+// the near-future timers that dominate grid simulations, and the retained
+// binary heap, selected with Config.HeapScheduler. Both fire events in
+// exactly the same (at, seq) order, so every simulation is bit-identical
+// under either queue — the equivalence tests and CI cmp gates pin that.
 package sim
 
 import (
@@ -17,12 +24,20 @@ import (
 // for the same instant so ordering is insertion order, never map order.
 // Events are pooled: gen is bumped on every recycle so stale Timer handles
 // from a previous use of the same event cannot observe or mutate it.
+//
+// The callback is either fn, or the pre-bound pair (afn, arg). The bound
+// form lets recurring work — ticker fires, heartbeat loops — schedule
+// without allocating a fresh closure per event; see ScheduleArg.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	afn      func(any)
+	arg      any
 	canceled bool
-	index    int // heap index, -1 once popped
+	index    int // position in the queue (heap index or bucket offset), -1 once popped
+	level    int8
+	slot     int16
 	gen      uint64
 }
 
@@ -58,7 +73,7 @@ func (t *Timer) Active() bool {
 }
 
 // Reschedule moves a pending timer to absolute time at, adjusting the event
-// heap in place (no tombstone is left behind, unlike Cancel + re-Schedule).
+// queue in place (no tombstone is left behind, unlike Cancel + re-Schedule).
 // The timer is given a fresh tie-breaking sequence number, so rescheduling
 // to an instant shared with other events behaves exactly like canceling and
 // scheduling anew. Rescheduling into the past or rescheduling a fired or
@@ -73,7 +88,20 @@ func (t *Timer) Reschedule(at Time) {
 	t.ev.at = at
 	t.ev.seq = t.e.seq
 	t.e.seq++
-	heap.Fix(&t.e.heap, t.ev.index)
+	t.e.q.update(t.ev)
+}
+
+// evqueue orders pending events by (at, seq). Canceled events stay queued
+// as tombstones and are returned by pop like any other event; the engine
+// skips and recycles them. peek must not have observable side effects
+// beyond internal reorganisation bounded by limit (the wheel advances its
+// cursor at most to limit, never past a pending event).
+type evqueue interface {
+	push(ev *event)
+	update(ev *event) // relocate after at/seq changed
+	peek(limit Time) (Time, bool)
+	pop() *event
+	size() int
 }
 
 type eventHeap []*event
@@ -105,24 +133,70 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// heapQ is the retained binary-heap queue (Config.HeapScheduler). It is the
+// pre-wheel engine, kept as the equivalence baseline and benchmark foil.
+type heapQ struct {
+	h eventHeap
+}
+
+func (q *heapQ) push(ev *event)   { heap.Push(&q.h, ev) }
+func (q *heapQ) update(ev *event) { heap.Fix(&q.h, ev.index) }
+func (q *heapQ) peek(limit Time) (Time, bool) {
+	if len(q.h) == 0 || q.h[0].at > limit {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+func (q *heapQ) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+func (q *heapQ) size() int { return len(q.h) }
+
+// Config selects engine parameters beyond the seed.
+type Config struct {
+	// Seed for the deterministic random source.
+	Seed int64
+	// HeapScheduler selects the retained binary-heap event queue instead of
+	// the default hierarchical timing wheel. The two are bit-identical on
+	// every run; the heap is kept for equivalence gates and benchmarks.
+	HeapScheduler bool
+}
+
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs on the engine's loop.
 type Engine struct {
 	now     Time
-	heap    eventHeap
+	q       evqueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
 	pending int      // live count of scheduled, non-canceled events
 	free    []*event // recycled events awaiting reuse
+	heapQ   bool
 }
 
 // New returns an engine with its clock at zero and a deterministic random
-// source seeded with seed.
-func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+// source seeded with seed, using the default timing-wheel queue.
+func New(seed int64) *Engine { return NewEngine(Config{Seed: seed}) }
+
+// NewEngine returns an engine configured by cfg.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(cfg.Seed)), heapQ: cfg.HeapScheduler}
+	if cfg.HeapScheduler {
+		e.q = &heapQ{}
+	} else {
+		e.q = newWheelQ()
+	}
+	return e
 }
+
+// HeapScheduler reports whether the engine runs on the retained binary heap
+// rather than the timing wheel.
+func (e *Engine) HeapScheduler() bool { return e.heapQ }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -132,7 +206,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Pending returns the number of scheduled (non-canceled) events. It is O(1):
-// the engine keeps a live counter instead of scanning the heap.
+// the engine keeps a live counter instead of scanning the queue.
 func (e *Engine) Pending() int { return e.pending }
 
 // Fired returns the number of events executed so far; useful as a progress
@@ -154,14 +228,16 @@ func (e *Engine) alloc() *event {
 // every outstanding Timer handle to this scheduling.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
 	ev.canceled = false
 	ev.gen++
 	e.free = append(e.free, ev)
 }
 
-// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
-// always a model bug, and silently reordering events would corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) *Timer {
+// scheduleInto fills a caller-provided Timer handle with a fresh scheduling,
+// so recurring callers (tickers) pay no per-event Timer allocation.
+func (e *Engine) scheduleInto(t *Timer, at Time, fn func(), afn func(any), arg any) {
 	if at < e.now {
 		panic("sim: Schedule in the past")
 	}
@@ -169,15 +245,41 @@ func (e *Engine) Schedule(at Time, fn func()) *Timer {
 	ev.at = at
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.afn = afn
+	ev.arg = arg
 	e.seq++
-	heap.Push(&e.heap, ev)
+	e.q.push(ev)
 	e.pending++
-	return &Timer{e: e, ev: ev, gen: ev.gen}
+	t.e, t.ev, t.gen = e, ev, ev.gen
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a model bug, and silently reordering events would corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	t := &Timer{}
+	e.scheduleInto(t, at, fn, nil, nil)
+	return t
+}
+
+// ScheduleArg runs fn(arg) at absolute time at. It is the pre-bound form of
+// Schedule for recurring callbacks: binding the receiver through arg instead
+// of a closure means a heartbeat or ticker that reschedules itself allocates
+// nothing per event.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) *Timer {
+	t := &Timer{}
+	e.scheduleInto(t, at, nil, fn, arg)
+	return t
 }
 
 // After runs fn d after the current time. Negative d panics via Schedule.
 func (e *Engine) After(d Time, fn func()) *Timer {
 	return e.Schedule(e.now+d, fn)
+}
+
+// AfterArg runs fn(arg) d after the current time; the pre-bound form of
+// After (see ScheduleArg).
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Timer {
+	return e.ScheduleArg(e.now+d, fn, arg)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -187,7 +289,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // called. It returns the time of the last executed event.
 func (e *Engine) Run() Time {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
+	for e.q.size() > 0 && !e.stopped {
 		e.step()
 	}
 	return e.now
@@ -197,7 +299,10 @@ func (e *Engine) Run() Time {
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped && e.heap[0].at <= deadline {
+	for !e.stopped {
+		if _, ok := e.q.peek(deadline); !ok {
+			break
+		}
 		e.step()
 	}
 	if !e.stopped && e.now < deadline {
@@ -209,13 +314,16 @@ func (e *Engine) RunUntil(deadline Time) {
 // cond is evaluated before each event.
 func (e *Engine) RunWhile(cond func() bool) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped && cond() {
+	for e.q.size() > 0 && !e.stopped && cond() {
 		e.step()
 	}
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.heap).(*event)
+	ev := e.q.pop()
+	if ev == nil {
+		return
+	}
 	if ev.canceled {
 		e.recycle(ev)
 		return
@@ -223,41 +331,53 @@ func (e *Engine) step() {
 	e.pending--
 	e.now = ev.at
 	e.fired++
-	fn := ev.fn
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
 	e.recycle(ev)
-	fn()
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 }
 
-// Every schedules fn to run every interval, starting interval from now, until
-// the returned Ticker is stopped. fn runs before the next tick is scheduled,
-// so fn may stop the ticker to prevent further ticks.
+// Ticker schedules fn to run every interval until stopped. Each tick reuses
+// the ticker's own pre-bound callback and embedded Timer handle, so a
+// running ticker allocates nothing per fire — the periodic heartbeats and
+// scan loops that dominate grid simulations ride the event free list alone.
 type Ticker struct {
-	stopped bool
-	timer   *Timer
+	e        *Engine
+	interval Time
+	fn       func()
+	stopped  bool
+	t        Timer
 }
 
 // Stop cancels all future ticks.
 func (tk *Ticker) Stop() {
 	tk.stopped = true
-	tk.timer.Cancel()
+	tk.t.Cancel()
 }
 
-// Every creates a Ticker invoking fn at the given period.
+// tickerTick fires one tick and schedules the next; fn runs before the next
+// tick is scheduled, so fn may stop the ticker to prevent further ticks.
+func tickerTick(x any) {
+	tk := x.(*Ticker)
+	if tk.stopped {
+		return
+	}
+	tk.fn()
+	if !tk.stopped {
+		tk.e.scheduleInto(&tk.t, tk.e.now+tk.interval, nil, tickerTick, tk)
+	}
+}
+
+// Every creates a Ticker invoking fn at the given period, starting interval
+// from now.
 func (e *Engine) Every(interval Time, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: Every with non-positive interval")
 	}
-	tk := &Ticker{}
-	var tick func()
-	tick = func() {
-		if tk.stopped {
-			return
-		}
-		fn()
-		if !tk.stopped {
-			tk.timer = e.After(interval, tick)
-		}
-	}
-	tk.timer = e.After(interval, tick)
+	tk := &Ticker{e: e, interval: interval, fn: fn}
+	e.scheduleInto(&tk.t, e.now+interval, nil, tickerTick, tk)
 	return tk
 }

@@ -47,7 +47,7 @@ type Option func(*builder)
 // New builds a simulated system from functional options and returns a
 // descriptive error — never a panic — when the configuration is invalid.
 // Exactly one worker-supply option is required: WithHOGPool, WithLargeGrid,
-// WithDedicatedCluster, WithStaticGroups, or WithConfig. The supply option
+// WithMegaGrid, WithDedicatedCluster, WithStaticGroups, or WithConfig. The supply option
 // establishes the base configuration; every other option refines it, in the
 // order written, regardless of where the supply option appears:
 //
@@ -67,7 +67,7 @@ func New(opts ...Option) (*System, error) {
 		o(b)
 	}
 	if !b.supply {
-		return nil, errors.New("hog: no worker supply configured; use WithHOGPool, WithLargeGrid, WithDedicatedCluster, WithStaticGroups, or WithConfig")
+		return nil, errors.New("hog: no worker supply configured; use WithHOGPool, WithLargeGrid, WithMegaGrid, WithDedicatedCluster, WithStaticGroups, or WithConfig")
 	}
 	for _, f := range b.deferred {
 		f(b)
@@ -132,6 +132,19 @@ func WithLargeGrid(targetNodes int, churn ChurnProfile) Option {
 	}
 }
 
+// WithMegaGrid selects the forty-site MegaGridSites preset for runs around
+// 10,000 nodes — the MEGA-GRID scale point (see docs/HARNESS.md).
+func WithMegaGrid(targetNodes int, churn ChurnProfile) Option {
+	return func(b *builder) {
+		if targetNodes <= 0 {
+			b.errf("WithMegaGrid: non-positive target %d", targetNodes)
+			return
+		}
+		b.cfg = core.MegaGridConfig(targetNodes, churn, b.cfg.Seed)
+		b.supply = true
+	}
+}
+
 // WithDedicatedCluster selects the paper's Table III comparison cluster
 // (30 nodes, 100 map and 30 reduce slots, one rack, stock Hadoop settings).
 func WithDedicatedCluster() Option {
@@ -176,7 +189,7 @@ func WithSites(sites ...SiteConfig) Option {
 	return func(b *builder) {
 		b.later(func(b *builder) {
 			if b.cfg.Grid == nil {
-				b.errf("WithSites requires a grid supply (WithHOGPool or WithLargeGrid)")
+				b.errf("WithSites requires a grid supply (WithHOGPool, WithLargeGrid, or WithMegaGrid)")
 				return
 			}
 			if len(sites) == 0 {
@@ -194,12 +207,21 @@ func WithPool(mut func(*PoolConfig)) Option {
 	return func(b *builder) {
 		b.later(func(b *builder) {
 			if b.cfg.Grid == nil {
-				b.errf("WithPool requires a grid supply (WithHOGPool or WithLargeGrid)")
+				b.errf("WithPool requires a grid supply (WithHOGPool, WithLargeGrid, or WithMegaGrid)")
 				return
 			}
 			mut(&b.cfg.Grid.Pool)
 		})
 	}
+}
+
+// WithHeapScheduler runs the simulation on the retained binary-heap event
+// queue instead of the default hierarchical timing wheel. The two engines
+// fire events in exactly the same order — every run is bit-identical either
+// way — so this option only matters for equivalence testing and
+// benchmarking the engines against each other.
+func WithHeapScheduler() Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.HeapScheduler = true }) }
 }
 
 // WithZombies selects the preempted-daemon behaviour (§IV.D.1): ZombieFixed,
