@@ -60,6 +60,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"mega":      experiments.PrintMegaGrid,
 	"sched":     experiments.PrintSchedScale,
 	"events":    experiments.PrintEventCounts,
+	"chaos":     experiments.PrintChaos,
 }
 
 // runners derives the text-path registry from the harness spec registry,

@@ -41,6 +41,12 @@ const (
 	EvReplicationDone = event.ReplicationDone
 	EvSiteOutage      = event.SiteOutage
 	EvPoolRetarget    = event.PoolRetarget
+	// Master failure and recovery (see docs/FAULTS.md).
+	EvMasterCrashed       = event.MasterCrashed
+	EvMasterRecovered     = event.MasterRecovered
+	EvSafeModeEntered     = event.SafeModeEntered
+	EvSafeModeExited      = event.SafeModeExited
+	EvTrackerReregistered = event.TrackerReregistered
 )
 
 // Task kinds for task events.

@@ -1,0 +1,302 @@
+// Package audit checks cross-layer invariants of a running simulation. It
+// observes the event bus and, on demand, sweeps the masters' state; any
+// breach becomes a recorded Violation instead of a silent divergence. The
+// auditor is strictly read-only — it never mutates the simulation and draws
+// no randomness, so attaching it cannot change a run's event sequence
+// (the determinism contract in internal/sim).
+//
+// The invariants it enforces (docs/FAULTS.md):
+//
+//   - simulated time is monotone across the event stream;
+//   - master crash/recovery and safe-mode entry/exit events pair up;
+//   - a block the namenode counts as replicated is physically present on
+//     every alive datanode it names;
+//   - outside degraded operation, no non-lost block has zero replicas,
+//     zero pending copies, and no physical copy anywhere alive;
+//   - per job, pending+running+done+failed tasks is conserved at the task
+//     count, and the done class agrees with the completion counters;
+//   - per tracker, slot usage stays within [0, slots] and matches the live
+//     attempt set;
+//   - no job reports success with incomplete maps or reduces.
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"hog/internal/event"
+	"hog/internal/hdfs"
+	"hog/internal/mapred"
+	"hog/internal/netmodel"
+	"hog/internal/sim"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	Time   sim.Time
+	Rule   string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s: %s", v.Time, v.Rule, v.Detail)
+}
+
+// maxRecorded caps stored violations; past the cap only the count grows, so
+// a systemically broken run cannot exhaust memory describing itself.
+const maxRecorded = 100
+
+// Auditor implements event.Observer. Subscribe it to a bus (or pass it to
+// core.NewSystem) for the per-event checks, Attach the masters for the
+// state-sweep checks, and call Sweep whenever a consistency snapshot is
+// wanted — between waves, on a timer, or once at the end of a run.
+type Auditor struct {
+	nn *hdfs.Namenode
+	jt *mapred.JobTracker
+
+	lastTime sim.Time
+	nnDown   bool
+	jtDown   bool
+	safeMode bool
+
+	count      int
+	violations []Violation
+}
+
+// New returns an Auditor with no masters attached; event-stream checks that
+// need master state are skipped until Attach.
+func New() *Auditor { return &Auditor{} }
+
+// Attach points the auditor at the masters whose state Sweep examines.
+// Either may be nil; the corresponding checks are skipped.
+func (a *Auditor) Attach(nn *hdfs.Namenode, jt *mapred.JobTracker) {
+	a.nn = nn
+	a.jt = jt
+}
+
+// Violations returns the recorded breaches (at most maxRecorded; Count is
+// the true total).
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Count returns the total number of violations observed, recorded or not.
+func (a *Auditor) Count() int { return a.count }
+
+func (a *Auditor) violate(t sim.Time, rule, format string, args ...any) {
+	a.count++
+	if len(a.violations) < maxRecorded {
+		a.violations = append(a.violations, Violation{Time: t, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// HandleEvent implements event.Observer: stream-level invariants checked as
+// facts arrive.
+func (a *Auditor) HandleEvent(ev event.Event) {
+	if ev.Time < a.lastTime {
+		a.violate(ev.Time, "monotone-time", "event %s at %v after %v", ev.Type, ev.Time, a.lastTime)
+	}
+	a.lastTime = ev.Time
+
+	switch ev.Type {
+	case event.MasterCrashed:
+		switch ev.Detail {
+		case "namenode":
+			if a.nnDown {
+				a.violate(ev.Time, "master-pairing", "namenode crashed twice without recovery")
+			}
+			a.nnDown = true
+		case "jobtracker":
+			if a.jtDown {
+				a.violate(ev.Time, "master-pairing", "jobtracker crashed twice without recovery")
+			}
+			a.jtDown = true
+		default:
+			a.violate(ev.Time, "master-pairing", "master-crashed with unknown detail %q", ev.Detail)
+		}
+	case event.MasterRecovered:
+		switch ev.Detail {
+		case "namenode":
+			if !a.nnDown {
+				a.violate(ev.Time, "master-pairing", "namenode recovered without a crash")
+			}
+			a.nnDown = false
+		case "jobtracker":
+			if !a.jtDown {
+				a.violate(ev.Time, "master-pairing", "jobtracker recovered without a crash")
+			}
+			a.jtDown = false
+		default:
+			a.violate(ev.Time, "master-pairing", "master-recovered with unknown detail %q", ev.Detail)
+		}
+	case event.SafeModeEntered:
+		if a.safeMode {
+			a.violate(ev.Time, "safe-mode-pairing", "safe mode entered twice without exit")
+		}
+		a.safeMode = true
+	case event.SafeModeExited:
+		if !a.safeMode {
+			a.violate(ev.Time, "safe-mode-pairing", "safe mode exited without entry")
+		}
+		a.safeMode = false
+	case event.NodeDead:
+		if a.nn != nil {
+			if d := a.nn.Datanode(ev.Node); d != nil && d.Alive {
+				a.violate(ev.Time, "node-dead", "node %d declared dead but datanode still alive", ev.Node)
+			}
+		}
+	case event.BlockLost:
+		if a.nn != nil {
+			if b := a.nn.Block(hdfs.BlockID(ev.Block)); b != nil && !b.Lost() {
+				a.violate(ev.Time, "block-lost", "block %d reported lost but not marked lost", ev.Block)
+			}
+		}
+	case event.TrackerReregistered:
+		if a.jt != nil {
+			if t := a.jt.Tracker(ev.Node); t == nil || !t.Alive {
+				a.violate(ev.Time, "tracker-reregister", "node %d re-registered but tracker not alive", ev.Node)
+			}
+		}
+	case event.JobFinished:
+		if a.jt != nil && ev.Detail == "succeeded" {
+			for _, j := range a.jt.Jobs() {
+				if int(j.ID) != ev.Job {
+					continue
+				}
+				if j.CompletedMaps() != j.NumMaps() || j.CompletedReduces() != j.NumReduces() {
+					a.violate(ev.Time, "job-complete", "job %d succeeded with %d/%d maps, %d/%d reduces",
+						ev.Job, j.CompletedMaps(), j.NumMaps(), j.CompletedReduces(), j.NumReduces())
+				}
+			}
+		}
+	}
+}
+
+// Sweep examines the attached masters' state at instant now. It is safe to
+// call at any point, including mid-outage: checks that only hold during
+// normal operation are suppressed while the relevant master is degraded.
+func (a *Auditor) Sweep(now sim.Time) {
+	if now < a.lastTime {
+		a.violate(now, "monotone-time", "sweep at %v after last event %v", now, a.lastTime)
+	}
+	if a.nn != nil {
+		a.sweepHDFS(now)
+	}
+	if a.jt != nil {
+		a.sweepMapRed(now)
+	}
+}
+
+func (a *Auditor) sweepHDFS(now sim.Time) {
+	nn := a.nn
+	degraded := nn.Degraded()
+	nn.ForEachBlock(func(b *hdfs.BlockInfo) {
+		reps := b.Replicas()
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		for _, id := range reps {
+			d := nn.Datanode(id)
+			switch {
+			case d == nil || !d.Alive:
+				a.violate(now, "replica-liveness", "block %d replica on dead node %d", b.ID, id)
+			case !d.HasBlock(b.ID):
+				a.violate(now, "replica-presence", "block %d counted on node %d but not physically held", b.ID, id)
+			}
+		}
+		if !degraded && !b.Lost() && !b.WriteInProgress() && b.NumReplicas() == 0 && b.NumPending() == 0 {
+			// A restarted namenode may briefly track zero replicas for a
+			// block that survives physically on a node whose block report
+			// is still owed; only a block with no physical copy anywhere
+			// alive is an inconsistency.
+			if !a.physicallyHeld(b.ID) {
+				a.violate(now, "replicated-nowhere", "block %d neither lost nor held by any alive datanode", b.ID)
+			}
+		}
+	})
+}
+
+// physicallyHeld reports whether any alive datanode hosts a copy of bid.
+func (a *Auditor) physicallyHeld(bid hdfs.BlockID) bool {
+	for _, d := range a.nn.AliveDatanodes() {
+		if d.HasBlock(bid) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Auditor) sweepMapRed(now sim.Time) {
+	jt := a.jt
+	jt.ForEachTracker(func(t *mapred.TaskTracker) {
+		rm, rr := t.RunningMaps(), t.RunningReduces()
+		if rm < 0 || rm > t.MapSlots || rr < 0 || rr > t.ReduceSlots {
+			a.violate(now, "slot-accounting", "node %d slots out of range: %d/%d maps, %d/%d reduces",
+				t.Node, rm, t.MapSlots, rr, t.ReduceSlots)
+		}
+		am, ar := t.LiveAttempts()
+		if am != rm || ar != rr {
+			a.violate(now, "slot-accounting", "node %d slot counters (%d,%d) disagree with live attempts (%d,%d)",
+				t.Node, rm, rr, am, ar)
+		}
+	})
+	for _, j := range jt.Jobs() {
+		if j.State != mapred.JobPending && j.State != mapred.JobRunning {
+			continue
+		}
+		mp, mr, md, mf := jt.MapStates(j)
+		if mp+mr+md+mf != j.NumMaps() {
+			a.violate(now, "task-conservation", "job %d maps %d+%d+%d+%d != %d",
+				j.ID, mp, mr, md, mf, j.NumMaps())
+		}
+		if md != j.CompletedMaps() {
+			a.violate(now, "task-conservation", "job %d done maps %d != completed counter %d",
+				j.ID, md, j.CompletedMaps())
+		}
+		rp, rr, rd, rf := jt.ReduceStates(j)
+		if rp+rr+rd+rf != j.NumReduces() {
+			a.violate(now, "task-conservation", "job %d reduces %d+%d+%d+%d != %d",
+				j.ID, rp, rr, rd, rf, j.NumReduces())
+		}
+		if rd != j.CompletedReduces() {
+			a.violate(now, "task-conservation", "job %d done reduces %d != completed counter %d",
+				j.ID, rd, j.CompletedReduces())
+		}
+	}
+}
+
+// CheckSeededFilePlacement verifies HOG's placement invariants for one file:
+// every block carries exactly the file's replication factor on distinct,
+// alive, physically-holding datanodes, and any block with two or more
+// replicas spans at least two sites (the paper's cross-site durability rule).
+// It is the property the hdfs placement tests assert, shared with the chaos
+// runner so both enforce the same contract.
+func CheckSeededFilePlacement(nn *hdfs.Namenode, name string) error {
+	f := nn.File(name)
+	if f == nil {
+		return fmt.Errorf("file %q not found", name)
+	}
+	for _, bid := range f.Blocks {
+		b := nn.Block(bid)
+		if b == nil {
+			return fmt.Errorf("file %q block %d missing from block map", name, bid)
+		}
+		if b.NumReplicas() != f.Replication {
+			return fmt.Errorf("file %q block %d has %d replicas, want %d", name, bid, b.NumReplicas(), f.Replication)
+		}
+		seen := make(map[netmodel.NodeID]bool, f.Replication)
+		for _, id := range b.Replicas() {
+			if seen[id] {
+				return fmt.Errorf("file %q block %d has duplicate replica on node %d", name, bid, id)
+			}
+			seen[id] = true
+			d := nn.Datanode(id)
+			if d == nil || !d.Alive {
+				return fmt.Errorf("file %q block %d replica on dead node %d", name, bid, id)
+			}
+			if !d.HasBlock(bid) {
+				return fmt.Errorf("file %q block %d replica on node %d not physically held", name, bid, id)
+			}
+		}
+		if f.Replication >= 2 && len(nn.SitesOf(b)) < 2 {
+			return fmt.Errorf("file %q block %d with replication %d confined to one site", name, bid, f.Replication)
+		}
+	}
+	return nil
+}

@@ -124,6 +124,16 @@ type Config struct {
 	SampleInterval sim.Time
 	// RunBound aborts a workload run that exceeds this simulated time.
 	RunBound sim.Time
+
+	// MasterBackoffInitial is a worker's first retry delay after its
+	// heartbeat to a crashed master goes unanswered; successive failed
+	// retries double it (plus seeded jitter) up to MasterBackoffMax.
+	// Defaults to the heartbeat interval.
+	MasterBackoffInitial sim.Time
+	// MasterBackoffMax caps the retry backoff. The default (15 s) is
+	// deliberately below the masters' 30 s dead timeouts so a worker always
+	// re-registers before a recovered master could declare it dead.
+	MasterBackoffMax sim.Time
 }
 
 // GridConfig holds the grid-specific parts of a Config.
@@ -232,6 +242,17 @@ type worker struct {
 	// per-beat driver loop doesn't pay a map probe per worker per master.
 	dn *hdfs.DatanodeInfo
 	tr *mapred.TaskTracker
+
+	// Master-loss retry state, per master (see retryNN/retryJT). nnLost is
+	// set when a heartbeat to a crashed namenode goes unanswered; the worker
+	// then retries at nnRetryAt with exponential backoff nnBackoff, and
+	// re-registers when the master is back. Likewise jt* for the JobTracker.
+	nnLost    bool
+	jtLost    bool
+	nnRetryAt sim.Time
+	jtRetryAt sim.Time
+	nnBackoff sim.Time
+	jtBackoff sim.Time
 }
 
 // System is a running HOG or dedicated-cluster instance.
@@ -251,6 +272,10 @@ type System struct {
 	bus            *event.Bus
 	scenarios      []*Scenario
 	scenariosArmed bool
+	// timedKeys maps "offset|target-key" of every applied timed step to its
+	// description, so Apply can reject a later scenario scheduling a
+	// conflicting action on the same target at the same instant.
+	timedKeys map[string]string
 
 	// Reported tracks the node count the masters believe alive; it can
 	// exceed the target momentarily because departed nodes linger until
@@ -291,6 +316,9 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 	}
 	if cfg.Costs == (JobCosts{}) {
 		cfg.Costs = DefaultJobCosts()
+	}
+	if cfg.MasterBackoffMax <= 0 {
+		cfg.MasterBackoffMax = 15 * sim.Second
 	}
 	s := &System{
 		Eng:      sim.NewEngine(sim.Config{Seed: cfg.Seed, HeapScheduler: cfg.HeapScheduler}),
@@ -334,16 +362,37 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 	// only to the JobTracker (their datanode died with the working dir).
 	// The loop walks worker records directly — at MEGA-GRID scale this
 	// single closure touches every worker every beat, and the old
-	// three-maps-per-worker probing dominated whole runs.
+	// three-maps-per-worker probing dominated whole runs. Master-crash
+	// handling rides the same beats: a worker whose master is down flips to
+	// backed-off retries (retryNN/retryJT) and re-registers on recovery.
+	// With no master faults this draws zero RNG and runs the PR-5 path.
 	hb := s.JT.Config().HeartbeatInterval
+	if s.cfg.MasterBackoffInitial <= 0 {
+		s.cfg.MasterBackoffInitial = hb
+	}
 	s.Eng.Every(hb, func() {
+		nnDown := s.NN.Down()
+		jtDown := s.JT.Down()
+		now := s.Eng.Now()
 		for _, w := range s.workerList {
 			switch w.health {
 			case workerHealthy:
-				s.NN.HeartbeatDatanode(w.dn)
-				s.JT.HeartbeatTracker(w.tr)
+				if nnDown || w.nnLost {
+					s.retryNN(w, now, nnDown)
+				} else {
+					s.NN.HeartbeatDatanode(w.dn)
+				}
+				if jtDown || w.jtLost {
+					s.retryJT(w, now, jtDown)
+				} else {
+					s.JT.HeartbeatTracker(w.tr)
+				}
 			case workerZombie:
-				s.JT.HeartbeatTracker(w.tr)
+				if jtDown || w.jtLost {
+					s.retryJT(w, now, jtDown)
+				} else {
+					s.JT.HeartbeatTracker(w.tr)
+				}
 			}
 		}
 	})
@@ -374,6 +423,85 @@ func (s *System) reportedAlive() int {
 
 // Zombies returns the number of currently zombie workers.
 func (s *System) Zombies() int { return s.zombies }
+
+// CrashNameNode fails the namenode process: soft state (the block map) is
+// lost; physical blocks on datanodes survive. Restart via RestartMasters.
+func (s *System) CrashNameNode() { s.NN.Crash() }
+
+// CrashJobTracker fails the JobTracker process: in-flight task state is
+// lost; completed map output on surviving nodes is kept across restart.
+func (s *System) CrashJobTracker() { s.JT.Crash() }
+
+// RestartMasters restarts whichever masters are down. The namenode enters
+// safe mode until enough block reports arrive; trackers re-register with
+// the JobTracker as their backed-off retries land.
+func (s *System) RestartMasters() {
+	if s.NN.Down() {
+		s.NN.Restart()
+	}
+	if s.JT.Down() {
+		s.JT.Restart()
+	}
+}
+
+// jitter spreads a retry delay over [d, 1.5d] so a restarted master is not
+// hit by every worker on the same beat. Drawn from the engine RNG, but only
+// ever on fault paths — fault-free runs consume no randomness here.
+func (s *System) jitter(d sim.Time) sim.Time {
+	return d + sim.Time(s.Eng.Rand().Int63n(int64(d)/2+1))
+}
+
+// retryNN drives one worker's backed-off reconnection to the namenode.
+// Retries are quantized to heartbeat beats: the worker acts on the first
+// beat at or after its scheduled retry instant.
+func (s *System) retryNN(w *worker, now sim.Time, down bool) {
+	if !w.nnLost {
+		// Heartbeat went unanswered: note the loss, back off.
+		w.nnLost = true
+		w.nnBackoff = s.cfg.MasterBackoffInitial
+		w.nnRetryAt = now + s.jitter(w.nnBackoff)
+		return
+	}
+	if now < w.nnRetryAt {
+		return
+	}
+	if down {
+		// Retry failed: double the backoff, up to the cap.
+		w.nnBackoff *= 2
+		if w.nnBackoff > s.cfg.MasterBackoffMax {
+			w.nnBackoff = s.cfg.MasterBackoffMax
+		}
+		w.nnRetryAt = now + s.jitter(w.nnBackoff)
+		return
+	}
+	w.nnLost = false
+	w.nnBackoff = 0
+	s.NN.Reregister(w.id)
+}
+
+// retryJT is retryNN for the JobTracker connection.
+func (s *System) retryJT(w *worker, now sim.Time, down bool) {
+	if !w.jtLost {
+		w.jtLost = true
+		w.jtBackoff = s.cfg.MasterBackoffInitial
+		w.jtRetryAt = now + s.jitter(w.jtBackoff)
+		return
+	}
+	if now < w.jtRetryAt {
+		return
+	}
+	if down {
+		w.jtBackoff *= 2
+		if w.jtBackoff > s.cfg.MasterBackoffMax {
+			w.jtBackoff = s.cfg.MasterBackoffMax
+		}
+		w.jtRetryAt = now + s.jitter(w.jtBackoff)
+		return
+	}
+	w.jtLost = false
+	w.jtBackoff = 0
+	s.JT.ReregisterTracker(w.tr)
+}
 
 func (s *System) buildStatic() {
 	site := s.Net.AddSite("cluster.local", 10e9, 10e9)

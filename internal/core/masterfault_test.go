@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"hog/internal/audit"
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// TestMasterCrashRecoveryMidWorkload crashes both masters mid-run and
+// restarts them later: every job must still complete, the recovery events
+// must appear on the bus in matched pairs, and the cross-layer audit must
+// stay clean through the outage and after it.
+func TestMasterCrashRecoveryMidWorkload(t *testing.T) {
+	cfg := HOGConfig(50, grid.ChurnNone, 31)
+	sys := New(cfg)
+	log := event.NewLog(event.MasterCrashed, event.MasterRecovered,
+		event.SafeModeEntered, event.SafeModeExited, event.TrackerReregistered)
+	sys.Subscribe(log)
+	aud := audit.New()
+	aud.Attach(sys.NN, sys.JT)
+	sys.Subscribe(aud)
+	sys.Eng.Every(30*sim.Second, func() { aud.Sweep(sys.Eng.Now()) })
+
+	sc := NewScenario("master outage").
+		CrashNameNodeAt(200 * sim.Second).
+		CrashJobTrackerAt(230 * sim.Second).
+		RestartMastersAfter(500 * sim.Second)
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunWorkload(tinySchedule(31))
+	aud.Sweep(sys.Eng.Now())
+
+	if res.JobsFailed != 0 {
+		t.Fatalf("%d jobs failed across the master outage", res.JobsFailed)
+	}
+	if got := log.Count(event.MasterCrashed); got != 2 {
+		t.Fatalf("MasterCrashed count = %d, want 2", got)
+	}
+	if got := log.Count(event.MasterRecovered); got != 2 {
+		t.Fatalf("MasterRecovered count = %d, want 2", got)
+	}
+	if got := log.Count(event.SafeModeEntered); got != 1 {
+		t.Fatalf("SafeModeEntered count = %d, want 1", got)
+	}
+	if got := log.Count(event.SafeModeExited); got != 1 {
+		t.Fatalf("SafeModeExited count = %d, want 1", got)
+	}
+	if log.Count(event.TrackerReregistered) == 0 {
+		t.Fatal("no tracker re-registered after the JobTracker restart")
+	}
+	if sys.NN.Down() || sys.NN.InSafeMode() || sys.JT.Down() {
+		t.Fatal("masters did not fully recover")
+	}
+	if n := aud.Count(); n != 0 {
+		t.Fatalf("%d audit violations; first: %v", n, aud.Violations()[0])
+	}
+}
+
+// TestMasterCrashDeterministic pins the recovery machinery to the
+// determinism contract: two runs of the same crash schedule under the same
+// seed produce identical event fingerprints.
+func TestMasterCrashDeterministic(t *testing.T) {
+	run := func() uint64 {
+		sys := New(HOGConfig(40, grid.ChurnUnstable, 32))
+		log := event.NewLog()
+		sys.Subscribe(log)
+		sc := NewScenario("chaos").
+			CrashJobTrackerAt(150 * sim.Second).
+			CrashNameNodeAt(180 * sim.Second).
+			RestartMastersAfter(420 * sim.Second)
+		if err := sys.Apply(sc); err != nil {
+			t.Fatal(err)
+		}
+		sys.RunWorkload(tinySchedule(32))
+		return log.Fingerprint()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different fingerprints: %x vs %x", a, b)
+	}
+}
+
+// TestAuditorDoesNotPerturbRun verifies the auditor is a pure observer: a
+// run with the auditor attached and sweeping matches the fingerprint of the
+// same run without it.
+func TestAuditorDoesNotPerturbRun(t *testing.T) {
+	run := func(withAudit bool) uint64 {
+		sys := New(HOGConfig(30, grid.ChurnStable, 33))
+		log := event.NewLog()
+		sys.Subscribe(log)
+		if withAudit {
+			aud := audit.New()
+			aud.Attach(sys.NN, sys.JT)
+			sys.Subscribe(aud)
+			sys.Eng.Every(20*sim.Second, func() { aud.Sweep(sys.Eng.Now()) })
+		}
+		sc := NewScenario("nn outage").
+			CrashNameNodeAt(120 * sim.Second).
+			RestartMastersAfter(300 * sim.Second)
+		if err := sys.Apply(sc); err != nil {
+			t.Fatal(err)
+		}
+		sys.RunWorkload(tinySchedule(33))
+		return log.Fingerprint()
+	}
+	if bare, audited := run(false), run(true); bare != audited {
+		t.Fatalf("auditor perturbed the run: %x vs %x", bare, audited)
+	}
+}

@@ -39,6 +39,7 @@ type scenarioStep struct {
 	at    sim.Time
 	timed bool
 	desc  string
+	keys  []string            // targets a timed step acts on, for conflict detection
 	check func(*System) error // static validation against the target system
 	cond  func(*System) bool  // conditional steps only
 	run   func(*System)
@@ -66,12 +67,12 @@ func (sc *Scenario) Poll(interval sim.Time) *Scenario {
 	return sc
 }
 
-func (sc *Scenario) addTimed(at sim.Time, desc string, check func(*System) error, run func(*System)) *Scenario {
+func (sc *Scenario) addTimed(at sim.Time, desc string, keys []string, check func(*System) error, run func(*System)) *Scenario {
 	if at < 0 {
 		sc.errs = append(sc.errs, fmt.Errorf("%s at negative offset %v", desc, at))
 		return sc
 	}
-	sc.steps = append(sc.steps, &scenarioStep{at: at, timed: true, desc: desc, check: check, run: run})
+	sc.steps = append(sc.steps, &scenarioStep{at: at, timed: true, desc: desc, keys: keys, check: check, run: run})
 	return sc
 }
 
@@ -121,7 +122,7 @@ func (sc *Scenario) SiteOutageAt(at sim.Time, site string, frac float64) *Scenar
 	if !sc.checkFrac(desc, frac) {
 		return sc
 	}
-	return sc.addTimed(at, desc, needSite(desc, site), func(s *System) {
+	return sc.addTimed(at, desc, []string{"site:" + site}, needSite(desc, site), func(s *System) {
 		killed, _ := s.Pool.PreemptSiteNamed(site, frac)
 		if s.bus.Active() {
 			ev := event.At(event.SiteOutage, s.Eng.Now())
@@ -140,7 +141,7 @@ func (sc *Scenario) ChurnBurst(at sim.Time, frac float64) *Scenario {
 	if !sc.checkFrac(desc, frac) {
 		return sc
 	}
-	return sc.addTimed(at, desc, needPool(desc), func(s *System) {
+	return sc.addTimed(at, desc, []string{"pool:members"}, needPool(desc), func(s *System) {
 		s.Pool.BurstPreempt(frac)
 	})
 }
@@ -152,7 +153,7 @@ func (sc *Scenario) KillFraction(at sim.Time, frac float64) *Scenario {
 	if !sc.checkFrac(desc, frac) {
 		return sc
 	}
-	return sc.addTimed(at, desc, needPool(desc), func(s *System) {
+	return sc.addTimed(at, desc, []string{"pool:members"}, needPool(desc), func(s *System) {
 		s.Pool.KillFraction(frac)
 	})
 }
@@ -165,7 +166,7 @@ func (sc *Scenario) RetargetPool(at sim.Time, target int) *Scenario {
 		sc.errs = append(sc.errs, fmt.Errorf("%s: negative target", desc))
 		return sc
 	}
-	return sc.addTimed(at, desc, needPool(desc), func(s *System) {
+	return sc.addTimed(at, desc, []string{"pool:target"}, needPool(desc), func(s *System) {
 		s.Pool.SetTarget(target)
 	})
 }
@@ -179,7 +180,7 @@ func (sc *Scenario) RebalanceAt(at sim.Time, threshold float64, maxMoves int) *S
 		sc.errs = append(sc.errs, fmt.Errorf("%s: threshold %g / maxMoves %d invalid", desc, threshold, maxMoves))
 		return sc
 	}
-	return sc.addTimed(at, desc, nil, func(s *System) {
+	return sc.addTimed(at, desc, []string{"balancer"}, nil, func(s *System) {
 		s.NN.BalanceOnce(threshold, maxMoves)
 	})
 }
@@ -200,13 +201,41 @@ func (sc *Scenario) DegradeNetwork(at sim.Time, site string, factor float64) *Sc
 		}
 		return nil
 	}
-	return sc.addTimed(at, desc, check, func(s *System) {
+	return sc.addTimed(at, desc, []string{"net:" + site}, check, func(s *System) {
 		id, ok := s.Net.SiteByName(site)
 		if !ok {
 			return
 		}
 		up, down := s.Net.SiteBandwidth(id)
 		s.Net.SetSiteBandwidth(id, up*factor, down*factor)
+	})
+}
+
+// CrashNameNodeAt fails the namenode at offset at from workload start. Its
+// soft state (the block map) is lost; physical blocks on datanodes survive.
+// Writes stall and replication stops until RestartMastersAfter brings it
+// back through safe mode (docs/FAULTS.md).
+func (sc *Scenario) CrashNameNodeAt(at sim.Time) *Scenario {
+	return sc.addTimed(at, "crash namenode", []string{"master:nn"}, nil, func(s *System) {
+		s.CrashNameNode()
+	})
+}
+
+// CrashJobTrackerAt fails the JobTracker at offset at from workload start.
+// In-flight task state is lost; completed map output on surviving nodes is
+// kept across restart.
+func (sc *Scenario) CrashJobTrackerAt(at sim.Time) *Scenario {
+	return sc.addTimed(at, "crash jobtracker", []string{"master:jt"}, nil, func(s *System) {
+		s.CrashJobTracker()
+	})
+}
+
+// RestartMastersAfter restarts whichever masters are down at offset at from
+// workload start. The namenode re-enters service through safe mode; trackers
+// re-register with the JobTracker as their backed-off retries land.
+func (sc *Scenario) RestartMastersAfter(at sim.Time) *Scenario {
+	return sc.addTimed(at, "restart masters", []string{"master:nn", "master:jt"}, nil, func(s *System) {
+		s.RestartMasters()
 	})
 }
 
@@ -258,6 +287,35 @@ func (s *System) Apply(sc *Scenario) error {
 				return fmt.Errorf("core: scenario %q: %w", sc.name, err)
 			}
 		}
+	}
+	// Same-instant steps fire in declaration order, so two actions on the
+	// same target at the same offset have an order-dependent outcome the
+	// author almost certainly did not intend (crash+restart at t, two
+	// outages of one site at t). Reject them — within this scenario and
+	// against every scenario already applied to this system.
+	staged := make(map[string]string)
+	for _, st := range sc.steps {
+		if !st.timed {
+			continue
+		}
+		for _, key := range st.keys {
+			k := fmt.Sprintf("%v|%s", st.at, key)
+			if prev, ok := s.timedKeys[k]; ok {
+				return fmt.Errorf("core: scenario %q: %s at %v conflicts with already-applied %s (same instant, same target %s)",
+					sc.name, st.desc, st.at, prev, key)
+			}
+			if prev, ok := staged[k]; ok {
+				return fmt.Errorf("core: scenario %q: %s at %v conflicts with %s (same instant, same target %s)",
+					sc.name, st.desc, st.at, prev, key)
+			}
+			staged[k] = st.desc
+		}
+	}
+	if s.timedKeys == nil {
+		s.timedKeys = make(map[string]string)
+	}
+	for k, d := range staged {
+		s.timedKeys[k] = d
 	}
 	s.scenarios = append(s.scenarios, sc)
 	return nil

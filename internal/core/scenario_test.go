@@ -95,6 +95,63 @@ func TestScenarioValidation(t *testing.T) {
 	}
 }
 
+// TestScenarioSameInstantConflicts exercises Apply's rejection of two
+// same-instant steps acting on the same target, whose declaration-order
+// outcome the author cannot have meant — and the combinations that must
+// stay legal.
+func TestScenarioSameInstantConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string // substring of the Apply error; "" = must be accepted
+	}{
+		{"crash and restart namenode same instant",
+			NewScenario("x").CrashNameNodeAt(sim.Minute).RestartMastersAfter(sim.Minute), "same instant"},
+		{"restart then crash same instant",
+			NewScenario("x").RestartMastersAfter(sim.Minute).CrashJobTrackerAt(sim.Minute), "same instant"},
+		{"two outages of one site same instant",
+			NewScenario("x").SiteOutageAt(sim.Minute, "UCSDT2", 0.5).SiteOutageAt(sim.Minute, "UCSDT2", 1.0), "same instant"},
+		{"churn burst and kill fraction same instant",
+			NewScenario("x").ChurnBurst(sim.Minute, 0.1).KillFraction(sim.Minute, 0.1), "same instant"},
+		{"both masters crash same instant",
+			NewScenario("x").CrashNameNodeAt(sim.Minute).CrashJobTrackerAt(sim.Minute), ""},
+		{"different sites same instant",
+			NewScenario("x").SiteOutageAt(sim.Minute, "UCSDT2", 0.5).SiteOutageAt(sim.Minute, "FNAL_FERMIGRID", 0.5), ""},
+		{"same site different instants",
+			NewScenario("x").SiteOutageAt(sim.Minute, "UCSDT2", 0.5).SiteOutageAt(2*sim.Minute, "UCSDT2", 0.5), ""},
+		{"outage and network degrade of one site same instant",
+			NewScenario("x").SiteOutageAt(sim.Minute, "UCSDT2", 0.5).DegradeNetwork(sim.Minute, "UCSDT2", 0.1), ""},
+		{"crash with unrelated outage same instant",
+			NewScenario("x").CrashNameNodeAt(sim.Minute).SiteOutageAt(sim.Minute, "UCSDT2", 0.5), ""},
+	}
+	for _, tc := range cases {
+		sys := New(HOGConfig(10, grid.ChurnNone, 1))
+		err := sys.Apply(tc.sc)
+		if tc.want == "" {
+			if err != nil {
+				t.Fatalf("%s: Apply rejected legal scenario: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: Apply error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Conflicts are also caught across separately applied scenarios, and a
+	// rejected scenario leaves no residue blocking a corrected one.
+	sys := New(HOGConfig(10, grid.ChurnNone, 1))
+	if err := sys.Apply(NewScenario("first").CrashNameNodeAt(sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	err := sys.Apply(NewScenario("second").RestartMastersAfter(sim.Minute))
+	if err == nil || !strings.Contains(err.Error(), "already-applied") {
+		t.Fatalf("cross-scenario conflict error = %v", err)
+	}
+	if err := sys.Apply(NewScenario("second").RestartMastersAfter(2 * sim.Minute)); err != nil {
+		t.Fatalf("corrected scenario rejected: %v", err)
+	}
+}
+
 func TestScenarioRejectedAfterWorkloadStart(t *testing.T) {
 	sys := New(HOGConfig(10, grid.ChurnNone, 1))
 	sys.RunWorkload(tinySchedule(1))

@@ -56,6 +56,22 @@ const (
 	// PoolRetarget fires when the pool's target size changes (Value holds
 	// the new target).
 	PoolRetarget
+	// MasterCrashed fires when a master daemon loses its soft state (Detail
+	// names the master: "namenode" or "jobtracker").
+	MasterCrashed
+	// MasterRecovered fires when a crashed master restarts (Detail names
+	// the master: "namenode" or "jobtracker").
+	MasterRecovered
+	// SafeModeEntered fires when a restarted namenode begins rebuilding its
+	// block map from datanode block reports.
+	SafeModeEntered
+	// SafeModeExited fires when the namenode reaches its reported-replica
+	// threshold (or times out) and resumes normal service (Value holds the
+	// number of blocks reported during safe mode).
+	SafeModeExited
+	// TrackerReregistered fires when a task tracker re-registers with a
+	// recovered JobTracker after detecting the crash.
+	TrackerReregistered
 
 	// NumTypes is the number of event types (for per-type tables).
 	NumTypes
@@ -88,6 +104,16 @@ func (t Type) String() string {
 		return "site-outage"
 	case PoolRetarget:
 		return "pool-retarget"
+	case MasterCrashed:
+		return "master-crashed"
+	case MasterRecovered:
+		return "master-recovered"
+	case SafeModeEntered:
+		return "safe-mode-entered"
+	case SafeModeExited:
+		return "safe-mode-exited"
+	case TrackerReregistered:
+		return "tracker-reregistered"
 	}
 	return "unknown"
 }

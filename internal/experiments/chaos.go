@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hog/internal/audit"
+	"hog/internal/core"
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// CHAOS samples seeded random fault schedules — master crashes, site
+// outages, churn bursts, WAN degradation — against a 60-node unstable pool,
+// runs each schedule twice, and checks two things no single scripted
+// experiment covers: the cross-layer audit invariants hold at every sweep
+// under arbitrary fault interleavings, and the run is bit-deterministic
+// (identical event fingerprints across reruns) even through master
+// recovery. Any violation or fingerprint mismatch is a failure.
+
+// chaosSiteNames are the fault targets, the OSG sites of the HOG preset.
+var chaosSiteNames = []string{"FNAL_FERMIGRID", "USCMS-FNAL-WC1", "UCSDT2", "AGLT2", "MIT_CMS"}
+
+// ChaosScheduleCount is the number of random fault schedules CHAOS samples.
+const ChaosScheduleCount = 4
+
+// ChaosScenario derives fault schedule idx from the experiment seed. The
+// script is drawn from its own rand.Rand at construction time — not from
+// the engine RNG — so it is a pure function of (seed, idx) and injecting it
+// never perturbs the simulation's own random stream. Instants are strictly
+// increasing, keeping the script free of same-instant conflicts by
+// construction (Apply rejects those).
+func ChaosScenario(seed int64, idx int) *core.Scenario {
+	rng := rand.New(rand.NewSource(seed<<8 + int64(idx)))
+	sc := core.NewScenario(fmt.Sprintf("chaos-%d", idx))
+	at := sim.Time(60+rng.Intn(120)) * sim.Second
+	step := func() sim.Time {
+		at += sim.Time(30+rng.Intn(90)) * sim.Second
+		return at
+	}
+	site := func() string { return chaosSiteNames[rng.Intn(len(chaosSiteNames))] }
+	// Every schedule loses a site and the namenode; odd schedules lose the
+	// JobTracker too. Churn bursts and WAN degradation ride along, and both
+	// masters restart before the dust settles.
+	sc.SiteOutageAt(at, site(), 0.3+0.4*rng.Float64())
+	sc.CrashNameNodeAt(step())
+	if idx%2 == 1 {
+		sc.CrashJobTrackerAt(step())
+	}
+	sc.ChurnBurst(step(), 0.1+0.2*rng.Float64())
+	sc.DegradeNetwork(step(), site(), 0.2+0.3*rng.Float64())
+	sc.RestartMastersAfter(step())
+	return sc
+}
+
+// ChaosScheduleResult is one fault schedule's outcome across its two runs.
+type ChaosScheduleResult struct {
+	Schedule     int
+	Response     sim.Time
+	JobsFailed   int
+	BlocksLost   int
+	Reregistered int // trackers that re-registered after JobTracker recovery
+	SafeModeOK   bool
+	Violations   int    // audit violations (both runs)
+	FirstBreach  string // first violation, for diagnostics
+	Fingerprint  uint64
+	Mismatch     bool // reruns disagreed — determinism broken
+}
+
+type chaosRunOutcome struct {
+	response     sim.Time
+	jobsFailed   int
+	blocksLost   int
+	reregistered int
+	safeModeOK   bool
+	violations   int
+	firstBreach  string
+	fingerprint  uint64
+}
+
+func chaosRun(idx int, opts Options) chaosRunOutcome {
+	cfg := core.HOGConfig(60, grid.ChurnUnstable, opts.Seeds[0])
+	log := event.NewLog()
+	sys, err := core.NewSystem(opts.tune(cfg), log)
+	if err != nil {
+		panic(err)
+	}
+	aud := audit.New()
+	aud.Attach(sys.NN, sys.JT)
+	sys.Subscribe(aud)
+	sys.Eng.Every(30*sim.Second, func() { aud.Sweep(sys.Eng.Now()) })
+	if err := sys.Apply(ChaosScenario(opts.Seeds[0], idx)); err != nil {
+		panic(err)
+	}
+	res := sys.RunWorkload(sched(opts.Seeds[0], opts.Scale))
+	aud.Sweep(sys.Eng.Now())
+	out := chaosRunOutcome{
+		response:     res.ResponseTime,
+		jobsFailed:   res.JobsFailed,
+		blocksLost:   res.NN.BlocksLost,
+		reregistered: log.Count(event.TrackerReregistered),
+		safeModeOK: log.Count(event.SafeModeEntered) == log.Count(event.SafeModeExited) &&
+			log.Count(event.MasterCrashed) == log.Count(event.MasterRecovered),
+		violations:  aud.Count(),
+		fingerprint: log.Fingerprint(),
+	}
+	if v := aud.Violations(); len(v) > 0 {
+		out.firstBreach = v[0].String()
+	}
+	return out
+}
+
+// ChaosSchedule runs fault schedule idx twice and folds the two runs into
+// one result row; Mismatch is the determinism verdict.
+func ChaosSchedule(idx int, opts Options) ChaosScheduleResult {
+	opts = opts.WithDefaults()
+	a := chaosRun(idx, opts)
+	b := chaosRun(idx, opts)
+	r := ChaosScheduleResult{
+		Schedule:     idx,
+		Response:     a.response,
+		JobsFailed:   a.jobsFailed,
+		BlocksLost:   a.blocksLost,
+		Reregistered: a.reregistered,
+		SafeModeOK:   a.safeModeOK,
+		Violations:   a.violations + b.violations,
+		FirstBreach:  a.firstBreach,
+		Fingerprint:  a.fingerprint,
+		Mismatch:     a.fingerprint != b.fingerprint,
+	}
+	if r.FirstBreach == "" {
+		r.FirstBreach = b.firstBreach
+	}
+	return r
+}
+
+// Chaos runs every schedule.
+func Chaos(opts Options) []ChaosScheduleResult {
+	out := make([]ChaosScheduleResult, 0, ChaosScheduleCount)
+	for i := 0; i < ChaosScheduleCount; i++ {
+		out = append(out, ChaosSchedule(i, opts))
+	}
+	return out
+}
+
+// PrintChaos prints the chaos sampling run.
+func PrintChaos(w io.Writer, opts Options) {
+	rs := Chaos(opts)
+	fmt.Fprintln(w, "CHAOS: randomized fault schedules (60 nodes, unstable churn, masters crash+recover)")
+	fmt.Fprintln(w, "Sched  Response(s)  JobsFailed  BlocksLost  Reregs  Violations  Deterministic")
+	bad := 0
+	for _, r := range rs {
+		det := "yes"
+		if r.Mismatch {
+			det = "NO"
+		}
+		fmt.Fprintf(w, "%5d  %11.0f  %10d  %10d  %6d  %10d  %13s\n",
+			r.Schedule, r.Response.Seconds(), r.JobsFailed, r.BlocksLost,
+			r.Reregistered, r.Violations, det)
+		if r.Violations > 0 {
+			bad += r.Violations
+			fmt.Fprintf(w, "       first breach: %s\n", r.FirstBreach)
+		}
+		if r.Mismatch {
+			bad++
+		}
+		if !r.SafeModeOK {
+			bad++
+			fmt.Fprintf(w, "       unpaired safe-mode or crash/recovery events\n")
+		}
+	}
+	if bad == 0 {
+		fmt.Fprintln(w, "all schedules clean: zero audit violations, reruns bit-identical")
+	} else {
+		fmt.Fprintf(w, "CHAOS FOUND %d PROBLEM(S)\n", bad)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"hog/internal/audit"
+	"hog/internal/core"
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// TestMegaGridMasterCrashRecovery runs the Facebook workload on the
+// forty-site mega grid and crashes both masters mid-run: the namenode loses
+// its soft state and must rebuild it from block reports behind safe mode,
+// the jobtracker loses its task state and the trackers must back off and
+// re-register. Every job still completes, the recovery events appear on the
+// bus, and the cross-layer audit stays clean at every sweep.
+//
+// Under the race detector the pool shrinks an order of magnitude — the
+// recovery machinery is scale-free and the detector's slowdown is not.
+func TestMegaGridMasterCrashRecovery(t *testing.T) {
+	target := 10000
+	if raceDetector || testing.Short() {
+		target = 1000
+	}
+	cfg := core.MegaGridConfig(target, grid.ChurnStable, 41)
+	sys := core.New(cfg)
+	log := event.NewLog(event.MasterCrashed, event.MasterRecovered,
+		event.SafeModeEntered, event.SafeModeExited, event.TrackerReregistered)
+	sys.Subscribe(log)
+	aud := audit.New()
+	aud.Attach(sys.NN, sys.JT)
+	sys.Subscribe(aud)
+	sys.Eng.Every(60*sim.Second, func() { aud.Sweep(sys.Eng.Now()) })
+
+	sc := core.NewScenario("mega master outage").
+		CrashNameNodeAt(300 * sim.Second).
+		CrashJobTrackerAt(330 * sim.Second).
+		RestartMastersAfter(700 * sim.Second)
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunWorkload(sched(41, 0.1))
+	aud.Sweep(sys.Eng.Now())
+
+	if res.JobsFailed != 0 {
+		t.Fatalf("%d jobs failed across the master outage at %d nodes", res.JobsFailed, target)
+	}
+	if got := log.Count(event.SafeModeEntered); got != 1 {
+		t.Fatalf("SafeModeEntered count = %d, want 1", got)
+	}
+	if got := log.Count(event.SafeModeExited); got != 1 {
+		t.Fatalf("SafeModeExited count = %d, want 1", got)
+	}
+	if got, want := log.Count(event.MasterRecovered), log.Count(event.MasterCrashed); got != want {
+		t.Fatalf("MasterRecovered count = %d, want %d (one per crash)", got, want)
+	}
+	if log.Count(event.TrackerReregistered) == 0 {
+		t.Fatal("no tracker re-registered after the JobTracker restart")
+	}
+	if sys.NN.Down() || sys.NN.InSafeMode() || sys.JT.Down() {
+		t.Fatal("masters did not fully recover")
+	}
+	if n := aud.Count(); n != 0 {
+		t.Fatalf("%d audit violations at %d nodes; first: %v", n, target, aud.Violations()[0])
+	}
+}

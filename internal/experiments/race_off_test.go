@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetector reports whether the test binary was built with -race; the
+// mega-grid crash test shrinks its pool under the detector's ~10x slowdown.
+const raceDetector = false

@@ -61,6 +61,9 @@ type TrialResult struct {
 	Nodes      int     `json:"nodes,omitempty"`
 	Scale      float64 `json:"scale,omitempty"`
 	Metrics    Metrics `json:"metrics"`
+	// Error is set when the trial panicked; Metrics is then nil. Absent
+	// from JSON for clean trials, so healthy output is unchanged.
+	Error string `json:"error,omitempty"`
 }
 
 // Spec is one experiment the harness knows how to expand into trials.
@@ -90,6 +93,7 @@ func Specs() []Spec {
 		{"mega", "MEGA-GRID: ~10000 nodes across 40 sites", expandMegaGrid},
 		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
 		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
+		{"chaos", "CHAOS: randomized fault schedules with audit + determinism check", expandChaos},
 	}
 }
 
@@ -455,6 +459,38 @@ func expandEvents(opts experiments.Options) []Trial {
 			return m
 		},
 	}}
+}
+
+func expandChaos(opts experiments.Options) []Trial {
+	var trials []Trial
+	for i := 0; i < experiments.ChaosScheduleCount; i++ {
+		i := i
+		trials = append(trials, Trial{
+			Experiment: "chaos", Point: fmt.Sprintf("schedule=%d", i),
+			Seed: opts.Seeds[0], Nodes: 60, Scale: opts.Scale,
+			run: func() Metrics {
+				r := experiments.ChaosSchedule(i, opts)
+				mismatch := 0.0
+				if r.Mismatch {
+					mismatch = 1
+				}
+				unpaired := 0.0
+				if !r.SafeModeOK {
+					unpaired = 1
+				}
+				return Metrics{
+					"response_s":   r.Response.Seconds(),
+					"jobs_failed":  float64(r.JobsFailed),
+					"blocks_lost":  float64(r.BlocksLost),
+					"reregistered": float64(r.Reregistered),
+					"violations":   float64(r.Violations),
+					"fp_mismatch":  mismatch,
+					"unpaired":     unpaired,
+				}
+			},
+		})
+	}
+	return trials
 }
 
 func expandSched(opts experiments.Options) []Trial {

@@ -2,8 +2,28 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
+
+// runTrial executes one trial with panic isolation: a panicking simulation
+// becomes an error-carrying result row instead of taking down the whole
+// multi-trial run — and, pooled, the worker goroutine of unrelated trials.
+func runTrial(t Trial) (res TrialResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = TrialResult{
+				Experiment: t.Experiment,
+				Point:      t.Point,
+				Seed:       t.Seed,
+				Nodes:      t.Nodes,
+				Scale:      t.Scale,
+				Error:      fmt.Sprintf("panic: %v", r),
+			}
+		}
+	}()
+	return t.Run()
+}
 
 // Run executes trials across a bounded worker pool and returns the results
 // in trial order. workers <= 1 runs sequentially. Each trial's System is
@@ -29,7 +49,7 @@ func RunContext(ctx context.Context, trials []Trial, workers int) ([]TrialResult
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			results[i] = t.Run()
+			results[i] = runTrial(t)
 		}
 		return results, nil
 	}
@@ -57,7 +77,7 @@ func RunContext(ctx context.Context, trials []Trial, workers int) ([]TrialResult
 				// effect after the in-flight trials rather than after the
 				// whole queue.
 				if ctx.Err() == nil {
-					results[i] = trials[i].Run()
+					results[i] = runTrial(trials[i])
 				}
 			}
 		}()

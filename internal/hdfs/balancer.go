@@ -14,6 +14,11 @@ import (
 // node). Moves are simulated transfers; the returned count is the number of
 // moves started. maxMoves bounds a round.
 func (nn *Namenode) BalanceOnce(threshold float64, maxMoves int) int {
+	if nn.down || nn.safeMode {
+		// No balancing against a crashed or still-rebuilding namenode: its
+		// replica map understates reality until block reports finish.
+		return 0
+	}
 	type util struct {
 		d *DatanodeInfo
 		u float64

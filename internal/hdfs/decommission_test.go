@@ -81,6 +81,63 @@ func TestDecommissionDeadNodeNoop(t *testing.T) {
 	}
 }
 
+// TestDecommissionRacesPreemption kills a node mid-drain — the elastic-shrink
+// path racing a site preemption. The drain must resolve (done fires exactly
+// once, the node stops draining) and the dead-node recovery path must restore
+// every block to target with nothing stranded under-replicated.
+func TestDecommissionRacesPreemption(t *testing.T) {
+	h := newHarness(t, 45, 4, Config{Replication: 3, SiteAware: true, DeadTimeout: 30 * sim.Second})
+	for i := 0; i < 6; i++ {
+		h.nn.SeedFile("/in/race"+string(rune('a'+i)), DefaultBlockSize, 3)
+	}
+	var victim netmodel.NodeID = -1
+	for _, id := range h.all {
+		if h.nn.Datanode(id).Blocks() > 0 {
+			victim = id
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no loaded node with this seed")
+	}
+	doneCalls := 0
+	h.nn.Decommission(victim, func() { doneCalls++ })
+	if !h.nn.Decommissioning(victim) {
+		t.Fatal("drain completed synchronously; race not exercised")
+	}
+	// Preempt the draining node before its extra copies finish.
+	h.nn.ForceDead(victim)
+	if doneCalls != 1 {
+		t.Fatalf("done called %d times after mid-drain death, want 1", doneCalls)
+	}
+	if h.nn.Decommissioning(victim) {
+		t.Fatal("dead node still marked decommissioning")
+	}
+	tk := h.heartbeatAll(map[netmodel.NodeID]bool{victim: true})
+	defer tk.Stop()
+	h.eng.RunUntil(30 * sim.Minute)
+	if doneCalls != 1 {
+		t.Fatalf("done called %d times after recovery, want exactly 1", doneCalls)
+	}
+	if n := h.nn.UnderReplicated(); n != 0 {
+		t.Fatalf("%d blocks stranded under-replicated after recovery", n)
+	}
+	for i := 0; i < 6; i++ {
+		f := h.nn.File("/in/race" + string(rune('a'+i)))
+		for _, bid := range f.Blocks {
+			b := h.nn.Block(bid)
+			if b.NumReplicas() < 3 {
+				t.Fatalf("block %d has %d replicas after recovery", bid, b.NumReplicas())
+			}
+			for _, r := range b.Replicas() {
+				if r == victim {
+					t.Fatal("block still lists the preempted node")
+				}
+			}
+		}
+	}
+}
+
 func TestDecommissioningNodeNotATarget(t *testing.T) {
 	h := newHarness(t, 44, 2, Config{Replication: 3})
 	tk := h.heartbeatAll(nil)

@@ -49,6 +49,15 @@ type Config struct {
 	// or flat random placement (false), the paper's implicit baseline for
 	// a grid deployment without topology knowledge.
 	SiteAware bool
+	// SafeModeThreshold is the fraction of known blocks that must have at
+	// least one reported replica before a restarted namenode leaves safe
+	// mode (Hadoop's dfs.safemode.threshold.pct).
+	SafeModeThreshold float64
+	// SafeModeTimeout bounds how long a restarted namenode waits for block
+	// reports before leaving safe mode anyway, treating still-unreported
+	// blocks as suspect. Datanodes that never report are handled by the
+	// ordinary dead-node path afterwards.
+	SafeModeTimeout sim.Time
 }
 
 // DefaultConfig returns stock-Hadoop-like parameters.
@@ -60,6 +69,8 @@ func DefaultConfig() Config {
 		CheckInterval:         5 * sim.Second,
 		MaxReplicationStreams: 16,
 		SiteAware:             true,
+		SafeModeThreshold:     0.999,
+		SafeModeTimeout:       10 * sim.Minute,
 	}
 }
 
@@ -89,6 +100,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxReplicationStreams <= 0 {
 		c.MaxReplicationStreams = d.MaxReplicationStreams
 	}
+	if c.SafeModeThreshold <= 0 || c.SafeModeThreshold > 1 {
+		c.SafeModeThreshold = d.SafeModeThreshold
+	}
+	if c.SafeModeTimeout <= 0 {
+		c.SafeModeTimeout = d.SafeModeTimeout
+	}
 	return c
 }
 
@@ -100,6 +117,9 @@ type DatanodeInfo struct {
 	Alive         bool
 	LastHeartbeat sim.Time
 	blocks        map[BlockID]struct{}
+	// awaitingReport is set when a restarted namenode is waiting for this
+	// datanode's block report (see safemode.go).
+	awaitingReport bool
 	// siteIx is the dense index of Site in the namenode's site registry;
 	// the placement hot path counts replicas per site through it instead of
 	// hashing site name strings.
@@ -109,6 +129,13 @@ type DatanodeInfo struct {
 // Blocks returns the number of block replicas hosted on the datanode.
 func (d *DatanodeInfo) Blocks() int { return len(d.blocks) }
 
+// HasBlock reports whether the datanode physically hosts a replica of the
+// block (audit helpers; the namenode's own paths use the map directly).
+func (d *DatanodeInfo) HasBlock(bid BlockID) bool {
+	_, ok := d.blocks[bid]
+	return ok
+}
+
 // BlockInfo is the namenode's record of one block.
 type BlockInfo struct {
 	ID       BlockID
@@ -117,6 +144,10 @@ type BlockInfo struct {
 	replicas map[netmodel.NodeID]struct{}
 	pending  map[netmodel.NodeID]struct{} // in-flight replication targets
 	lost     bool
+	// writing marks a block whose client write pipeline has not finished:
+	// it legitimately has no replicas and no pending copies yet, so loss
+	// declaration and safe-mode report accounting must leave it alone.
+	writing bool
 }
 
 // Replicas returns the IDs of live replicas in unspecified order.
@@ -131,8 +162,15 @@ func (b *BlockInfo) Replicas() []netmodel.NodeID {
 // NumReplicas returns the live replica count.
 func (b *BlockInfo) NumReplicas() int { return len(b.replicas) }
 
+// NumPending returns the number of in-flight copies toward this block.
+func (b *BlockInfo) NumPending() int { return len(b.pending) }
+
 // Lost reports whether all replicas (and pending copies) were lost.
 func (b *BlockInfo) Lost() bool { return b.lost }
+
+// WriteInProgress reports whether the block's client write pipeline is still
+// running — the window in which zero replicas is normal, not an anomaly.
+func (b *BlockInfo) WriteInProgress() bool { return b.writing }
 
 // FileInfo records a file's blocks and its replication factor.
 type FileInfo struct {
@@ -154,7 +192,9 @@ type Stats struct {
 }
 
 // Namenode is the HDFS master. It lives on the stable central server in HOG
-// (paper §III.B) so it never fails in these simulations.
+// (paper §III.B), but even the central server can crash: Crash drops the
+// namenode's soft state and Restart rebuilds it from datanode block reports
+// behind a safe-mode gate (see safemode.go and docs/FAULTS.md).
 type Namenode struct {
 	eng    *sim.Engine
 	net    *netmodel.Network
@@ -185,6 +225,22 @@ type Namenode struct {
 	streams     map[*replStream]struct{}
 
 	decommissioning map[netmodel.NodeID]func()
+
+	// Master failure and recovery state (safemode.go). down is true between
+	// Crash and Restart; safeMode is true from Restart until enough block
+	// reports arrive. smTotal/smReported track the safe-mode exit threshold;
+	// pendingWrites queues WriteFile calls issued while degraded.
+	down          bool
+	safeMode      bool
+	safeModeSince sim.Time
+	safeTimer     *sim.Timer
+	smTotal       int
+	smReported    int
+	pendingWrites []func()
+	// awaiting counts live datanodes that still owe a block report; while
+	// non-zero, deletions must reclaim space by physical inventory because
+	// the replica map understates who holds what.
+	awaiting int
 
 	stats Stats
 
@@ -290,8 +346,12 @@ func (nn *Namenode) Heartbeat(id netmodel.NodeID) {
 
 // HeartbeatDatanode is Heartbeat for callers that already hold the info —
 // the per-beat driver loop over ten thousand workers skips ten thousand map
-// probes this way.
+// probes this way. Heartbeats to a crashed namenode are lost; the sender is
+// expected to notice and retry (see the master backoff in internal/core).
 func (nn *Namenode) HeartbeatDatanode(d *DatanodeInfo) {
+	if nn.down {
+		return
+	}
 	if d != nil && d.Alive {
 		d.LastHeartbeat = nn.eng.Now()
 	}
@@ -346,6 +406,7 @@ func (nn *Namenode) markDead(d *DatanodeInfo) {
 		return
 	}
 	d.Alive = false
+	nn.clearAwaiting(d)
 	nn.stats.DatanodesDead++
 	if nn.Events.Active() {
 		ev := event.At(event.NodeDead, nn.eng.Now())
@@ -364,6 +425,13 @@ func (nn *Namenode) markDead(d *DatanodeInfo) {
 	for _, bid := range bids {
 		b := nn.blocks[bid]
 		nn.dropReplica(b, d.ID)
+		if nn.down || nn.safeMode {
+			// While degraded the replica map understates reality (unreported
+			// datanodes may still hold copies), so neither loss declarations
+			// nor recovery queueing are sound here; the safe-mode exit sweep
+			// re-derives both from the rebuilt block map.
+			continue
+		}
 		if len(b.replicas) == 0 && len(b.pending) == 0 {
 			nn.loseBlock(b)
 			continue
@@ -371,6 +439,16 @@ func (nn *Namenode) markDead(d *DatanodeInfo) {
 		nn.queueReplication(bid)
 	}
 	d.blocks = make(map[BlockID]struct{})
+	if done, draining := nn.decommissioning[d.ID]; draining {
+		// A preempted node cannot finish draining; the dead-node path above
+		// now owns its blocks, so complete the decommission immediately
+		// rather than leaving a stale entry until some later stream pokes
+		// checkAllDecommissions.
+		delete(nn.decommissioning, d.ID)
+		if done != nil {
+			done()
+		}
+	}
 	if nn.OnDatanodeDead != nil {
 		nn.OnDatanodeDead(d.ID)
 	}

@@ -515,34 +515,9 @@ func TestBalancePumpedDestinationDoesNotHaltRound(t *testing.T) {
 	}
 }
 
-// Property: for any replication factor 1..10 and any seed, seeding a file
-// yields replicas on distinct nodes, and with site awareness >=2 sites
-// whenever both the factor and the site count allow.
-func TestPlacementInvariantsProperty(t *testing.T) {
-	f := func(replRaw, seedRaw uint8) bool {
-		repl := int(replRaw)%10 + 1
-		h := newHarness(t, int64(seedRaw)+100, 3, Config{Replication: repl, SiteAware: true})
-		fi := h.nn.SeedFile("/p", DefaultBlockSize, repl)
-		b := h.nn.Block(fi.Blocks[0])
-		if b.NumReplicas() != repl {
-			return false
-		}
-		seen := map[netmodel.NodeID]bool{}
-		for _, id := range b.Replicas() {
-			if seen[id] {
-				return false
-			}
-			seen[id] = true
-		}
-		if repl >= 2 && len(h.nn.SitesOf(b)) < 2 {
-			return false
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
-}
+// TestPlacementInvariantsProperty moved to placement_audit_test.go: the
+// property is now audit.CheckSeededFilePlacement, shared with the chaos
+// runner, and the test exercises it through the exported API.
 
 // Property: recovery restores the full replication factor after killing any
 // single replica holder, given enough surviving capacity.

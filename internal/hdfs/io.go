@@ -35,6 +35,11 @@ func (nn *Namenode) CreateFile(name string, size float64, repl int) *FileInfo {
 		nn.stats.BlocksCreated++
 		f.Blocks = append(f.Blocks, b.ID)
 	}
+	if nn.safeMode {
+		// Blocks born during safe mode count toward the exit threshold's
+		// denominator (they have no replicas yet, so not the numerator).
+		nn.smTotal += len(f.Blocks)
+	}
 	nn.files[name] = f
 	return f
 }
@@ -70,6 +75,33 @@ func (nn *Namenode) DeleteFile(name string) {
 	}
 	for _, bid := range f.Blocks {
 		b := nn.blocks[bid]
+		if nn.down || nn.safeMode || nn.awaiting > 0 {
+			// While degraded, the replica map understates reality: copies can
+			// sit on datanodes the restarted namenode has not heard from yet
+			// (or, while down, on every former holder). Reclaim the space by
+			// physical inventory instead, so deletion never leaks disk and a
+			// later block report cannot resurrect a deleted block.
+			for _, d := range nn.dnOrder {
+				if _, held := d.blocks[bid]; held {
+					delete(d.blocks, bid)
+					nn.disk.Release(d.ID, b.Size)
+				}
+			}
+			ids := make([]netmodel.NodeID, 0, len(b.replicas))
+			for id := range b.replicas {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				nn.dropReplica(b, id)
+			}
+			if nn.safeMode && !b.lost && !b.writing {
+				nn.smTotal-- // dropReplica above settled smReported
+			}
+			delete(nn.replQueued, bid)
+			delete(nn.blocks, bid)
+			continue
+		}
 		// Sort before dropping so the placement hook fires in a
 		// deterministic order (as markDead does for its victims).
 		ids := make([]netmodel.NodeID, 0, len(b.replicas))
@@ -95,12 +127,44 @@ func (nn *Namenode) addReplica(b *BlockInfo, id netmodel.NodeID) {
 	if !ok || !d.Alive {
 		return
 	}
+	if nn.down {
+		// The master is gone: the copy lands physically on the datanode, but
+		// no namenode soft state records it. A post-restart block report
+		// reconciles the two views.
+		d.blocks[b.ID] = struct{}{}
+		return
+	}
 	_, had := b.replicas[id]
+	if nn.safeMode && !b.writing && !had && len(b.replicas) == 0 {
+		if b.lost {
+			// A block written off before the crash resurfaces: it joins the
+			// threshold's denominator along with its report.
+			nn.smTotal++
+		}
+		nn.smReported++
+	}
 	b.replicas[id] = struct{}{}
 	b.lost = false
 	d.blocks[b.ID] = struct{}{}
 	if !had && nn.OnPlacementChange != nil {
 		nn.OnPlacementChange(b.ID, id, true)
+	}
+}
+
+// finishWrite marks a block's client write pipeline complete. A pipeline
+// started before a crash can finish while the restarted namenode is still
+// rebuilding; the block then joins the safe-mode accounting it was excluded
+// from while writing.
+func (nn *Namenode) finishWrite(b *BlockInfo) {
+	if !b.writing {
+		return
+	}
+	b.writing = false
+	if nn.safeMode && !b.lost {
+		nn.smTotal++
+		if len(b.replicas) > 0 {
+			nn.smReported++
+		}
 	}
 }
 
@@ -112,6 +176,9 @@ func (nn *Namenode) dropReplica(b *BlockInfo, id netmodel.NodeID) {
 		return
 	}
 	delete(b.replicas, id)
+	if nn.safeMode && !b.writing && len(b.replicas) == 0 {
+		nn.smReported--
+	}
 	if nn.OnPlacementChange != nil {
 		nn.OnPlacementChange(b.ID, id, false)
 	}
@@ -122,8 +189,27 @@ func (nn *Namenode) dropReplica(b *BlockInfo, id netmodel.NodeID) {
 // written sequentially as HDFS clients do. done receives the number of block
 // replicas that could not be materialised (0 means a fully replicated file).
 // Under-replicated blocks are queued for background recovery.
+//
+// While the namenode is crashed or in safe mode the write is queued and
+// performed when normal service resumes — safe mode serves reads of reported
+// blocks but refuses namespace mutations, like Hadoop's.
 func (nn *Namenode) WriteFile(writer netmodel.NodeID, name string, size float64, repl int, done func(skipped int)) {
+	if nn.down || nn.safeMode {
+		nn.pendingWrites = append(nn.pendingWrites, func() {
+			nn.writeFileNow(writer, name, size, repl, done)
+		})
+		return
+	}
+	nn.writeFileNow(writer, name, size, repl, done)
+}
+
+func (nn *Namenode) writeFileNow(writer netmodel.NodeID, name string, size float64, repl int, done func(skipped int)) {
 	f := nn.CreateFile(name, size, repl)
+	// Blocks await their turn in the sequential pipeline; until a block's
+	// write finishes, its zero-replica state is in-progress, not stranded.
+	for _, bid := range f.Blocks {
+		nn.blocks[bid].writing = true
+	}
 	skipped := 0
 	var writeBlock func(i int)
 	writeBlock = func(i int) {
@@ -142,6 +228,7 @@ func (nn *Namenode) WriteFile(writer netmodel.NodeID, name string, size float64,
 		targets := nn.chooseTargets(writer, b.Size, f.Replication, nil)
 		skipped += f.Replication - len(targets)
 		if len(targets) == 0 {
+			nn.finishWrite(b)
 			nn.queueReplication(b.ID)
 			writeBlock(i + 1)
 			return
@@ -158,6 +245,7 @@ func (nn *Namenode) WriteFile(writer netmodel.NodeID, name string, size float64,
 			}
 		}
 		if len(pipeline) == 0 {
+			nn.finishWrite(b)
 			nn.queueReplication(b.ID)
 			writeBlock(i + 1)
 			return
@@ -182,6 +270,7 @@ func (nn *Namenode) WriteFile(writer netmodel.NodeID, name string, size float64,
 				}
 				remainingHops--
 				if remainingHops == 0 {
+					nn.finishWrite(b)
 					if len(b.replicas) < f.Replication {
 						nn.queueReplication(b.ID)
 						nn.pumpReplication()

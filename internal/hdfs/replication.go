@@ -74,6 +74,11 @@ func (nn *Namenode) queueReplication(bid BlockID) {
 // re-queued if still short (e.g. the source died mid-copy, or the factor is
 // 10 and one stream only adds one copy at a time).
 func (nn *Namenode) pumpReplication() {
+	if nn.down || nn.safeMode {
+		// Recovery work is deferred while degraded: the queue keeps accruing
+		// and the safe-mode exit sweep rebuilds it from the reported state.
+		return
+	}
 	for nn.replStreams < nn.cfg.MaxReplicationStreams && nn.replQueue.len() > 0 {
 		bid := nn.replQueue.pop()
 		delete(nn.replQueued, bid)

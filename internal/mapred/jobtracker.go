@@ -28,6 +28,9 @@ type TaskTracker struct {
 	runningMaps    int
 	runningReduces int
 	attempts       map[*attempt]struct{}
+	// awaitingReregister is set while a recovered JobTracker waits for this
+	// tracker to re-register (see recovery.go).
+	awaitingReregister bool
 }
 
 // FreeMapSlots returns currently unoccupied map slots.
@@ -36,8 +39,29 @@ func (t *TaskTracker) FreeMapSlots() int { return t.MapSlots - t.runningMaps }
 // FreeReduceSlots returns currently unoccupied reduce slots.
 func (t *TaskTracker) FreeReduceSlots() int { return t.ReduceSlots - t.runningReduces }
 
+// RunningMaps returns occupied map slots (audit accessor).
+func (t *TaskTracker) RunningMaps() int { return t.runningMaps }
+
+// RunningReduces returns occupied reduce slots (audit accessor).
+func (t *TaskTracker) RunningReduces() int { return t.runningReduces }
+
+// LiveAttempts counts the tracker's live attempts by kind (audit accessor;
+// must equal the slot counters).
+func (t *TaskTracker) LiveAttempts() (maps, reduces int) {
+	for a := range t.attempts {
+		if a.mt != nil {
+			maps++
+		} else {
+			reduces++
+		}
+	}
+	return maps, reduces
+}
+
 // JobTracker is the MapReduce master. Like the namenode it lives on HOG's
-// stable central server and never fails in these simulations.
+// stable central server, but even the central server can crash: Crash drops
+// all in-flight task state and Restart reconstructs job state while trackers
+// re-register (see recovery.go and docs/FAULTS.md).
 type JobTracker struct {
 	eng  *sim.Engine
 	net  *netmodel.Network
@@ -54,6 +78,9 @@ type JobTracker struct {
 	nextID       JobID
 	active       int // running or pending jobs
 	attemptSeq   int64
+	// down is true between Crash and Restart; heartbeats are lost then and
+	// the senders back off and retry (see the master backoff in internal/core).
+	down bool
 
 	// activeList holds unfinished jobs in submission order; the indexed
 	// assignment path iterates it instead of re-skipping finished jobs.
@@ -179,7 +206,7 @@ func (jt *JobTracker) Heartbeat(node netmodel.NodeID) {
 // the per-beat driver loop over ten thousand workers skips ten thousand map
 // probes this way.
 func (jt *JobTracker) HeartbeatTracker(t *TaskTracker) {
-	if t == nil || !t.Alive {
+	if jt.down || t == nil || !t.Alive {
 		return
 	}
 	t.LastHeartbeat = jt.eng.Now()

@@ -330,6 +330,9 @@ func (j *Job) NumReduces() int { return len(j.reduces) }
 // CompletedMaps returns the number of finished map tasks.
 func (j *Job) CompletedMaps() int { return j.completedMaps }
 
+// CompletedReduces returns the number of finished reduce tasks.
+func (j *Job) CompletedReduces() int { return j.completedReduces }
+
 // FailReason returns why the job failed, if it did.
 func (j *Job) FailReason() string { return j.failReason }
 

@@ -1,0 +1,167 @@
+package mapred
+
+import (
+	"sort"
+
+	"hog/internal/event"
+)
+
+// This file models JobTracker failure and recovery (docs/FAULTS.md). A
+// JobTracker crash loses exactly the state a real one holds only in RAM:
+// which attempts run where. The job queue itself (submitted jobs, completed
+// tasks, their output locations) is treated as recoverable — Hadoop's job
+// recovery replays it from the job log on restart. Trackers notice the dead
+// master when their heartbeats go unanswered, back off with jitter (driven
+// by internal/core), and re-register once it returns; the restarted master
+// re-queues orphaned running work and re-executes completed maps whose
+// output did not survive.
+
+// Crash drops the JobTracker's in-flight task state: every running attempt
+// is cancelled without charging its task's failure budget (the tasks did
+// nothing wrong), partial reduce output is discarded, and ghost beliefs
+// about silently-dead nodes are forgotten wholesale — a restarted master
+// has no memory of who was running what.
+func (jt *JobTracker) Crash() {
+	if jt.down {
+		return
+	}
+	jt.down = true
+	jt.Stop()
+	for _, t := range jt.trackerOrder {
+		if len(t.attempts) == 0 {
+			continue
+		}
+		atts := make([]*attempt, 0, len(t.attempts))
+		for a := range t.attempts {
+			atts = append(atts, a)
+		}
+		sort.Slice(atts, func(i, j int) bool { return atts[i].seq < atts[j].seq })
+		for _, a := range atts {
+			a.cancel("master crashed")
+		}
+	}
+	for _, j := range jt.jobs {
+		if j.State != JobRunning && j.State != JobPending {
+			continue
+		}
+		for _, m := range j.maps {
+			if len(m.ghosts) > 0 {
+				m.ghosts = nil
+				jt.noteMapTask(m)
+			}
+		}
+		for _, r := range j.reduces {
+			if len(r.ghosts) > 0 {
+				r.ghosts = nil
+				jt.noteReduceTask(r)
+			}
+		}
+	}
+	if jt.Events.Active() {
+		ev := event.At(event.MasterCrashed, jt.eng.Now())
+		ev.Detail = "jobtracker"
+		jt.Events.Emit(ev)
+	}
+}
+
+// Restart brings a crashed JobTracker back: job state is reconstructed —
+// completed maps whose output still lives on a servable node are kept,
+// completed maps whose output vanished during the outage re-execute, and
+// everything that was running is already back in pending (Crash re-queued
+// it). Live trackers owe a re-registration; until then they are grace-
+// stamped so the resumed dead scan does not charge them for the outage.
+func (jt *JobTracker) Restart() {
+	if !jt.down {
+		return
+	}
+	jt.down = false
+	now := jt.eng.Now()
+	for _, t := range jt.trackerOrder {
+		if t.Alive {
+			t.awaitingReregister = true
+			t.LastHeartbeat = now
+		}
+	}
+	jt.Start()
+	for _, j := range jt.jobs {
+		if j.State != JobRunning && j.State != JobPending {
+			continue
+		}
+		for _, m := range j.maps {
+			if m.done && !jt.servable(m.outputNode) && jt.outputStillNeeded(j, m) {
+				jt.reExecuteMap(j, m)
+			}
+		}
+	}
+	if jt.Events.Active() {
+		ev := event.At(event.MasterRecovered, now)
+		ev.Detail = "jobtracker"
+		jt.Events.Emit(ev)
+	}
+}
+
+// ReregisterTracker is a tracker's first successful contact with a restarted
+// JobTracker; it counts as a heartbeat (and so triggers assignment).
+func (jt *JobTracker) ReregisterTracker(t *TaskTracker) {
+	if jt.down || t == nil || !t.Alive {
+		return
+	}
+	if t.awaitingReregister {
+		t.awaitingReregister = false
+		if jt.Events.Active() {
+			ev := event.At(event.TrackerReregistered, jt.eng.Now())
+			ev.Node = t.Node
+			ev.Site = t.Site
+			jt.Events.Emit(ev)
+		}
+	}
+	t.LastHeartbeat = jt.eng.Now()
+	jt.assign(t)
+}
+
+// Down reports whether the JobTracker is crashed.
+func (jt *JobTracker) Down() bool { return jt.down }
+
+// ForEachTracker visits every registered tracker in ascending node order —
+// the deterministic iteration the audit sweep needs.
+func (jt *JobTracker) ForEachTracker(fn func(*TaskTracker)) {
+	for _, t := range jt.trackerOrder {
+		fn(t)
+	}
+}
+
+// MapStates partitions a job's map tasks into the audit's conservation
+// classes: done, terminally failed (attempt budget exhausted), running (live
+// attempts or ghosts), and pending (everything else).
+func (jt *JobTracker) MapStates(j *Job) (pending, running, done, failed int) {
+	for _, m := range j.maps {
+		switch {
+		case m.done:
+			done++
+		case m.failures >= jt.cfg.MaxTaskAttempts:
+			failed++
+		case m.running() > 0:
+			running++
+		default:
+			pending++
+		}
+	}
+	return
+}
+
+// ReduceStates is MapStates for the job's reduce tasks.
+func (jt *JobTracker) ReduceStates(j *Job) (pending, running, done, failed int) {
+	for _, r := range j.reduces {
+		switch {
+		case r.done:
+			done++
+		case r.failures >= jt.cfg.MaxTaskAttempts:
+			failed++
+		case r.running() > 0:
+			running++
+		default:
+			pending++
+		}
+	}
+	return
+}

@@ -336,6 +336,15 @@ func (a *attempt) mapRead() {
 	m := a.mt
 	src, local, ok := a.pickInputSource(m)
 	if !ok {
+		if a.jt.nn.Degraded() {
+			// The namenode is crashed or still rebuilding its block map, so
+			// "no replicas" means "unknown", not "lost": the DFS client backs
+			// off and retries rather than charging the task. Safe mode is
+			// bounded (threshold or timeout), so this cannot loop forever —
+			// once service resumes, a genuinely lost block fails normally.
+			a.timer = a.jt.eng.After(a.jt.cfg.ConnectTimeout, func() { a.mapRead() })
+			return
+		}
 		a.fail("input block unavailable", true)
 		return
 	}
@@ -647,6 +656,14 @@ func (a *attempt) reduceCompute() {
 
 func (a *attempt) reduceWrite() {
 	if a.finished {
+		return
+	}
+	if a.jt.nn.Degraded() {
+		// Writes are refused while the namenode is crashed or in safe mode;
+		// retrying from the attempt (rather than queueing inside HDFS) keeps
+		// the namespace free of output files for attempts that get cancelled
+		// while waiting.
+		a.timer = a.jt.eng.After(a.jt.cfg.ConnectTimeout, func() { a.reduceWrite() })
 		return
 	}
 	out := a.shuffleBytes * a.job.Config.ReduceSelectivity
