@@ -13,6 +13,7 @@ package hog
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -323,6 +324,68 @@ func BenchmarkMegaGrid(b *testing.B) {
 	b.ReportMetric(r.Response.Seconds(), "response-s")
 	b.ReportMetric(float64(r.EventsFired), "events")
 	b.ReportMetric(float64(r.Reached), "nodes")
+}
+
+// BenchmarkGigaGrid runs the Facebook workload end to end at the GIGA-GRID
+// scale: ~100,000 slots over 104 sites, an order of magnitude past
+// MEGA-GRID and three past the paper. Sub-benchmarks run the site-sharded
+// parallel engine (the default) and the sequential timing-wheel oracle;
+// the simulations must agree exactly, so the wall-clock ratio is pure
+// engine speedup. Set HOG_GIGA_JSON=path to write a small JSON artifact
+// recording both wall-clocks and the speedup — CI uploads it as
+// BENCH_giga.json.
+func BenchmarkGigaGrid(b *testing.B) {
+	var results [2]experiments.GigaGridResult
+	var secsPerOp [2]float64
+	var iters [2]int
+	for m, mode := range []struct {
+		name string
+		seq  bool
+	}{{"sharded", false}, {"seq", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var r experiments.GigaGridResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.GigaGrid(experiments.Options{Scale: 0.25, Seeds: []int64{1}, SequentialEngine: mode.seq})
+			}
+			if r.JobsFailed != 0 {
+				b.Fatalf("%d jobs failed on the stable giga grid", r.JobsFailed)
+			}
+			results[m] = r
+			secsPerOp[m] = b.Elapsed().Seconds() / float64(b.N)
+			iters[m] = b.N
+			b.ReportMetric(r.Response.Seconds(), "response-s")
+			b.ReportMetric(float64(r.EventsFired), "events")
+			b.ReportMetric(float64(r.Reached), "nodes")
+		})
+	}
+	if iters[0] == 0 || iters[1] == 0 {
+		return // a -bench filter selected only one engine; nothing to compare
+	}
+	if results[0] != results[1] {
+		b.Fatalf("engines diverge: %+v vs %+v", results[0], results[1])
+	}
+	speedup := secsPerOp[1] / secsPerOp[0]
+	b.Logf("giga sharded %.1fs vs seq %.1fs: speedup %.2fx on GOMAXPROCS=%d",
+		secsPerOp[0], secsPerOp[1], speedup, runtime.GOMAXPROCS(0))
+	if path := os.Getenv("HOG_GIGA_JSON"); path != "" {
+		artifact := struct {
+			ShardedSeconds float64 `json:"sharded_seconds"`
+			SeqSeconds     float64 `json:"seq_seconds"`
+			Speedup        float64 `json:"speedup"`
+			GOMAXPROCS     int     `json:"gomaxprocs"`
+			EventsFired    uint64  `json:"events_fired"`
+			Reached        int     `json:"reached_nodes"`
+			ResponseS      float64 `json:"response_s"`
+		}{secsPerOp[0], secsPerOp[1], speedup, runtime.GOMAXPROCS(0),
+			results[0].EventsFired, results[0].Reached, results[0].Response.Seconds()}
+		buf, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkHarnessSuite runs the full experiment matrix through the

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// mkdoc builds a hog-results document from {experiment: {rowKey: value}}
+// where rowKey is "point/metric" and every trial uses seed 1.
+func mkdoc(t *testing.T, exps []string, metrics map[string]map[string]float64) *doc {
+	t.Helper()
+	var d doc
+	d.Schema = "hog-results"
+	d.SchemaVersion = 1
+	for _, id := range exps {
+		e := experiment{ID: id}
+		byPoint := map[string]map[string]float64{}
+		for row, v := range metrics[id] {
+			point, metric, ok := strings.Cut(row, "/")
+			if !ok {
+				t.Fatalf("bad row key %q", row)
+			}
+			if byPoint[point] == nil {
+				byPoint[point] = map[string]float64{}
+			}
+			byPoint[point][metric] = v
+		}
+		// Deterministic trial order keeps test failure output stable.
+		var points []string
+		for p := range byPoint {
+			points = append(points, p)
+		}
+		sort.Strings(points)
+		for _, p := range points {
+			e.Trials = append(e.Trials, struct {
+				Point   string             `json:"point"`
+				Seed    int64              `json:"seed"`
+				Metrics map[string]float64 `json:"metrics"`
+			}{Point: p, Seed: 1, Metrics: byPoint[p]})
+		}
+		d.Experiments = append(d.Experiments, e)
+	}
+	return &d
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	old := mkdoc(t, []string{"fig4", "giga"}, map[string]map[string]float64{
+		"fig4": {"nodes=100/response_s": 500},
+		"giga": {"nodes=100000/response_s": 724.8, "nodes=100000/events_fired": 449948},
+	})
+	r := compare(old, old, 0.5, 1, nil)
+	if !r.ok() || r.Compared != 3 || r.failed() != 0 {
+		t.Fatalf("identical documents did not pass cleanly: %+v", r)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	old := mkdoc(t, []string{"fig4"}, map[string]map[string]float64{
+		"fig4": {"nodes=100/response_s": 500},
+	})
+	cand := mkdoc(t, []string{"fig4"}, map[string]map[string]float64{
+		"fig4": {"nodes=100/response_s": 1200},
+	})
+	r := compare(old, cand, 0.5, 1, nil)
+	if r.ok() || r.failed() != 1 {
+		t.Fatalf("140%% drift passed a 50%% gate: %+v", r)
+	}
+	if g := r.Regressions[0]; g.Key != "fig4/nodes=100/seed=1/response_s" || g.Old != 500 || g.New != 1200 {
+		t.Fatalf("regression row mangled: %+v", g)
+	}
+}
+
+// TestMissingRowFails pins the gate this PR adds: a row present in the
+// baseline but dropped from an experiment the new document still covers is a
+// lost measurement, not acceptable drift.
+func TestMissingRowFails(t *testing.T) {
+	old := mkdoc(t, []string{"giga"}, map[string]map[string]float64{
+		"giga": {"nodes=100000/response_s": 724.8, "nodes=100000/events_fired": 449948},
+	})
+	cand := mkdoc(t, []string{"giga"}, map[string]map[string]float64{
+		"giga": {"nodes=100000/response_s": 724.8},
+	})
+	r := compare(old, cand, 0.5, 1, nil)
+	if r.ok() {
+		t.Fatal("dropped row passed the gate")
+	}
+	if len(r.MissingRows) != 1 || r.MissingRows[0] != "giga/nodes=100000/seed=1/events_fired" {
+		t.Fatalf("missing rows = %v", r.MissingRows)
+	}
+	if r.failed() != 0 || r.Compared != 1 {
+		t.Fatalf("unexpected side effects: %+v", r)
+	}
+}
+
+// TestSubsetDocumentPasses keeps the chaos job's usage working: a new
+// document covering only one of the baseline's experiments is informational,
+// not fatal, as long as that experiment's rows are complete.
+func TestSubsetDocumentPasses(t *testing.T) {
+	old := mkdoc(t, []string{"fig4", "chaos"}, map[string]map[string]float64{
+		"fig4":  {"nodes=100/response_s": 500},
+		"chaos": {"schedule=0/violations": 0},
+	})
+	cand := mkdoc(t, []string{"chaos"}, map[string]map[string]float64{
+		"chaos": {"schedule=0/violations": 0},
+	})
+	r := compare(old, cand, 0.5, 1, nil)
+	if !r.ok() {
+		t.Fatalf("subset document failed: %+v", r)
+	}
+	if len(r.BaselineOnly) != 1 || r.BaselineOnly[0] != "fig4" {
+		t.Fatalf("baseline-only = %v", r.BaselineOnly)
+	}
+}
+
+func TestRequireMissingExperimentFails(t *testing.T) {
+	old := mkdoc(t, []string{"fig4"}, map[string]map[string]float64{
+		"fig4": {"nodes=100/response_s": 500},
+	})
+	r := compare(old, old, 0.5, 1, []string{"fig4", "giga"})
+	if r.ok() {
+		t.Fatal("missing required experiment passed the gate")
+	}
+	if len(r.RequiredMissing) != 1 || r.RequiredMissing[0] != "giga" {
+		t.Fatalf("required-missing = %v", r.RequiredMissing)
+	}
+}
+
+// TestAppendSummary checks the GITHUB_STEP_SUMMARY writer: it must append —
+// earlier steps' sections survive — and the table must carry the verdict,
+// the per-experiment rollup, and the offending rows.
+func TestAppendSummary(t *testing.T) {
+	old := mkdoc(t, []string{"giga"}, map[string]map[string]float64{
+		"giga": {"nodes=100000/response_s": 724.8, "nodes=100000/events_fired": 449948},
+	})
+	cand := mkdoc(t, []string{"giga"}, map[string]map[string]float64{
+		"giga": {"nodes=100000/response_s": 3000},
+	})
+	r := compare(old, cand, 0.5, 1, nil)
+
+	path := filepath.Join(t.TempDir(), "summary.md")
+	if err := os.WriteFile(path, []byte("# earlier step\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSummary(path, r, "BENCH_baseline.json", "BENCH_suite.json"); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(buf)
+	for _, want := range []string{
+		"# earlier step",
+		"❌ fail",
+		"| giga | 1 | 1 | 1 | 0 |",
+		"| giga/nodes=100000/seed=1/response_s | 724.8 | 3000 |",
+		"**Rows missing from the new document:** giga/nodes=100000/seed=1/events_fired",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestLoadRejectsForeignSchema keeps benchcheck from silently comparing
+// arbitrary JSON.
+func TestLoadRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.json")
+	buf, _ := json.Marshal(map[string]any{"schema": "not-hog"})
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("foreign schema loaded without error")
+	}
+}
+
+// TestRealBaselineSelfCompare runs the real committed baseline against
+// itself: zero drift, zero missing rows, giga present — the steady state the
+// CI gate relies on.
+func TestRealBaselineSelfCompare(t *testing.T) {
+	d, err := load("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := compare(d, d, 0.5, 1, []string{"fig4", "mega", "giga", "chaos", "events"})
+	if !r.ok() || r.failed() != 0 || len(r.MissingRows) != 0 {
+		t.Fatalf("baseline does not self-compare cleanly: %+v", r)
+	}
+}

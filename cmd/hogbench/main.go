@@ -58,6 +58,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"hod":       experiments.PrintHODComparison,
 	"grid":      experiments.PrintLargeGrid,
 	"mega":      experiments.PrintMegaGrid,
+	"giga":      experiments.PrintGigaGrid,
 	"sched":     experiments.PrintSchedScale,
 	"events":    experiments.PrintEventCounts,
 	"chaos":     experiments.PrintChaos,
@@ -95,6 +96,7 @@ func run() int {
 	scale := flag.Float64("scale", 0, "override workload scale (0 = preset)")
 	scan := flag.Bool("scan", false, "force the linear-scan scheduler baseline (results must be bit-identical)")
 	heap := flag.Bool("heap", false, "force the binary-heap event queue baseline (results must be bit-identical)")
+	seq := flag.Bool("seq", false, "force the sequential timing-wheel engine instead of the sharded parallel default (results must be bit-identical)")
 	parallel := flag.Int("parallel", 1, "worker pool size for the trial matrix")
 	jsonOut := flag.Bool("json", false, "emit the versioned JSON results document")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
@@ -147,6 +149,7 @@ func run() int {
 	}
 	opts.ScanScheduler = *scan
 	opts.HeapScheduler = *heap
+	opts.SequentialEngine = *seq
 
 	// Validate the id before touching -out, so a typo can't truncate a
 	// previous artifact.

@@ -111,10 +111,16 @@ type Config struct {
 	Costs  JobCosts
 
 	// HeapScheduler runs the simulation on the retained binary-heap event
-	// queue instead of the default timing wheel. The two engines are
+	// queue instead of the default site-sharded engine. The engines are
 	// bit-identical on every run (hogbench -heap, CI cmp gate); the knob
 	// exists for equivalence testing and benchmarking only.
 	HeapScheduler bool
+
+	// SequentialEngine runs the simulation on the single sequential timing
+	// wheel instead of the default site-sharded parallel engine (hogbench
+	// -seq, CI cmp gate). The sequential wheel is the oracle the sharded
+	// engine is pinned against; results are bit-identical either way.
+	SequentialEngine bool
 
 	// Zombie selects preemption daemon behaviour (grid systems only).
 	Zombie ZombieMode
@@ -199,6 +205,22 @@ func MegaGridConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Config
 	return c
 }
 
+// GigaGridConfig returns the HOG configuration on the ~104-site
+// GigaGridSites preset, for runs around 100,000 nodes — the GIGA-GRID
+// scale the site-sharded parallel engine exists for: with roughly a
+// hundred site wheels settling concurrently between lookahead barriers,
+// the run parallelizes inside a single simulation while remaining
+// bit-identical to the sequential oracle (hogbench -exp giga -seq).
+// Everything except the site list matches HOGConfig; the provisioning
+// bound is widened again because filling a hundred thousand slots takes
+// correspondingly longer.
+func GigaGridConfig(targetNodes int, churn grid.ChurnProfile, seed int64) Config {
+	c := HOGConfig(targetNodes, churn, seed)
+	c.Grid.Sites = grid.GigaGridSites(churn)
+	c.Grid.ProvisionBound = 16 * sim.Hour
+	return c
+}
+
 // DedicatedClusterConfig returns the Table III comparison cluster: one
 // master (implicit, the stable server), 20 slave nodes with 4 map + 1 reduce
 // slots and 10 with 2 map + 1 reduce slots, 1 Gbps Ethernet, one rack,
@@ -238,6 +260,10 @@ type worker struct {
 	node   *grid.Node
 	id     netmodel.NodeID
 	health workerHealth
+	// shard is the worker's site index, cached so the per-beat driver loop
+	// can tag each worker's heartbeat work onto its site's engine shard
+	// without a site lookup per beat.
+	shard int
 	// dn and tr are the worker's master-side records, held directly so the
 	// per-beat driver loop doesn't pay a map probe per worker per master.
 	dn *hdfs.DatanodeInfo
@@ -320,8 +346,27 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 	if cfg.MasterBackoffMax <= 0 {
 		cfg.MasterBackoffMax = 15 * sim.Second
 	}
+	// Conservative lookahead for the sharded engine: sites only couple
+	// through the WAN (one-way latency) and through master heartbeats
+	// (interval-paced), so no cross-site causality can act faster than
+	// their sum — within a window that wide, per-site wheels settle
+	// independently. Any positive window is correct (bit-identity never
+	// depends on it); this one just amortizes barriers best.
+	wan := cfg.Net.WANLatency
+	if wan <= 0 {
+		wan = netmodel.DefaultConfig().WANLatency
+	}
+	hb0 := cfg.MapRed.HeartbeatInterval
+	if hb0 <= 0 {
+		hb0 = mapred.DefaultConfig().HeartbeatInterval
+	}
 	s := &System{
-		Eng:      sim.NewEngine(sim.Config{Seed: cfg.Seed, HeapScheduler: cfg.HeapScheduler}),
+		Eng: sim.NewEngine(sim.Config{
+			Seed:             cfg.Seed,
+			HeapScheduler:    cfg.HeapScheduler,
+			SequentialEngine: cfg.SequentialEngine,
+			Lookahead:        wan + hb0,
+		}),
 		cfg:      cfg,
 		mapper:   topology.NewMapper(),
 		workers:  make(map[netmodel.NodeID]*worker),
@@ -375,6 +420,10 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 		jtDown := s.JT.Down()
 		now := s.Eng.Now()
 		for _, w := range s.workerList {
+			// Site-shard the fallout of each beat (task timers, retry
+			// schedules) so the sharded engine settles it on the worker's
+			// site wheel; pure load placement, never ordering.
+			s.Eng.SetShard(w.shard)
 			switch w.health {
 			case workerHealthy:
 				if nnDown || w.nnLost {
@@ -410,15 +459,26 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 // observers attached.
 func (s *System) Subscribe(o event.Observer) { s.bus.Subscribe(o) }
 
-// reportedAlive counts trackers the JobTracker still believes alive.
+// reportedAlive counts trackers the JobTracker still believes alive. The
+// count is a pure read over the worker list, so at 100k-worker scale the
+// sampler fans it out across parallel chunks; integer partial sums added
+// in chunk order are exactly the sequential count.
 func (s *System) reportedAlive() int {
-	n := 0
-	for _, w := range s.workerList {
-		if w.tr != nil && w.tr.Alive {
-			n++
+	var counts [sim.ScanChunks]int
+	s.Eng.ParallelScan(len(s.workerList), 4096, func(c, lo, hi int) {
+		n := 0
+		for _, w := range s.workerList[lo:hi] {
+			if w.tr != nil && w.tr.Alive {
+				n++
+			}
 		}
+		counts[c] = n
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
 	}
-	return n
+	return total
 }
 
 // Zombies returns the number of currently zombie workers.
@@ -517,7 +577,7 @@ func (s *System) buildStatic() {
 			if g.Speed > 0 {
 				tr.Speed = g.Speed
 			}
-			w := &worker{id: id, health: workerHealthy, dn: dn, tr: tr}
+			w := &worker{id: id, health: workerHealthy, dn: dn, tr: tr, shard: int(s.Net.SiteOf(id))}
 			s.workers[id] = w
 			s.order = append(s.order, id)
 			s.workerList = append(s.workerList, w)
@@ -536,7 +596,7 @@ func (s *System) onJoin(n *grid.Node) {
 	s.Disk.SetCapacity(n.ID, n.DiskCapacity)
 	dn := s.NN.Register(n.ID, n.Hostname)
 	tr := s.JT.RegisterTracker(n.ID, n.Hostname, s.mapper.Site(n.Hostname), n.MapSlots, n.ReduceSlots)
-	w := &worker{node: n, id: n.ID, health: workerHealthy, dn: dn, tr: tr}
+	w := &worker{node: n, id: n.ID, health: workerHealthy, dn: dn, tr: tr, shard: int(s.Net.SiteOf(n.ID))}
 	s.workers[n.ID] = w
 	s.order = append(s.order, n.ID)
 	s.workerList = append(s.workerList, w)

@@ -37,15 +37,23 @@ type Options struct {
 	ScanScheduler bool
 	// HeapScheduler forces the retained binary-heap event queue in every
 	// simulated system (hogbench -heap). Like ScanScheduler it is
-	// bit-identical to the default (timing-wheel) path, enforced by CI's
-	// wheel-vs-heap cmp gate, and therefore absent from the JSON document.
+	// bit-identical to the default path, enforced by CI's heap cmp gate,
+	// and therefore absent from the JSON document.
 	HeapScheduler bool
+	// SequentialEngine forces the sequential timing-wheel engine in every
+	// simulated system (hogbench -seq) instead of the default site-sharded
+	// parallel engine. The sequential wheel is the oracle the sharded
+	// engine is pinned against: CI's sharded-vs-sequential cmp gate
+	// requires bit-identical documents, so — like the other engine knobs —
+	// it is absent from the JSON document.
+	SequentialEngine bool
 }
 
 // tune applies the option-level knobs to a built core config.
 func (o Options) tune(cfg core.Config) core.Config {
 	cfg.MapRed.ScanScheduler = o.ScanScheduler
 	cfg.HeapScheduler = o.HeapScheduler
+	cfg.SequentialEngine = o.SequentialEngine
 	return cfg
 }
 

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"hog/internal/core"
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// TestLargeGridShardedEngineEquivalence is the 1000-node fingerprint gate
+// for the site-sharded parallel engine: the full LARGE-GRID system —
+// provisioning, churn, workload — must produce exactly the same result
+// struct under the sharded default and the sequential timing-wheel oracle.
+func TestLargeGridShardedEngineEquivalence(t *testing.T) {
+	sharded := LargeGrid(Options{Scale: 0.1, Seeds: []int64{1}})
+	seq := LargeGrid(Options{Scale: 0.1, Seeds: []int64{1}, SequentialEngine: true})
+	if sharded != seq {
+		t.Fatalf("engine paths diverge at 1000 nodes:\nsharded:    %+v\nsequential: %+v", sharded, seq)
+	}
+	if sharded.Response <= 0 || sharded.EventsFired == 0 {
+		t.Fatalf("degenerate run: %+v", sharded)
+	}
+}
+
+// TestMegaGridShardedEngineEquivalence is the 10,000-node fingerprint gate:
+// at MEGA-GRID scale the sharded engine crosses thousands of lookahead
+// barriers with forty concurrent wheels and the parallel model scans active
+// (the worker list exceeds their fan-out threshold), and the result must
+// still match the sequential oracle bit for bit.
+//
+// The detector build skips it: the 1000-node gate above plus the engine
+// fingerprint tests already run under -race, and the detector's slowdown at
+// ten thousand nodes buys no additional interleavings in a simulation whose
+// parallel sections are read-only by contract.
+func TestMegaGridShardedEngineEquivalence(t *testing.T) {
+	if raceDetector || testing.Short() {
+		t.Skip("10k-node equivalence is covered at 1k under -race/-short")
+	}
+	sharded := MegaGrid(Options{Scale: 0.1, Seeds: []int64{1}})
+	seq := MegaGrid(Options{Scale: 0.1, Seeds: []int64{1}, SequentialEngine: true})
+	if sharded != seq {
+		t.Fatalf("engine paths diverge at 10000 nodes:\nsharded:    %+v\nsequential: %+v", sharded, seq)
+	}
+	if sharded.Response <= 0 || sharded.EventsFired == 0 {
+		t.Fatalf("degenerate run: %+v", sharded)
+	}
+}
+
+// crashFingerprint is the cross-engine comparison record for the
+// master-outage run: headline result plus the recovery event census.
+type crashFingerprint struct {
+	Response   sim.Time
+	Fired      uint64
+	Flows      int
+	JobsFailed int
+	Crashed    int
+	Recovered  int
+	Rereg      int
+}
+
+// masterCrashRun drives the 1000-node grid through a double master outage
+// whose crash instants sit deliberately off the lookahead grid (301.017 s,
+// 302 s) and whose two-minute repair delay spans dozens of barrier windows,
+// then returns the run's fingerprint.
+func masterCrashRun(t *testing.T, seqEngine bool) crashFingerprint {
+	t.Helper()
+	cfg := core.LargeGridConfig(1000, grid.ChurnStable, 7)
+	cfg.SequentialEngine = seqEngine
+	sys := core.New(cfg)
+	log := event.NewLog(event.MasterCrashed, event.MasterRecovered, event.TrackerReregistered)
+	sys.Subscribe(log)
+	sc := core.NewScenario("window-spanning outage").
+		CrashNameNodeAt(301*sim.Second + 17*sim.Millisecond).
+		CrashJobTrackerAt(302 * sim.Second).
+		RestartMastersAfter(421*sim.Second + 300*sim.Millisecond)
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunWorkload(sched(7, 0.1))
+	return crashFingerprint{
+		Response:   res.ResponseTime,
+		Fired:      sys.Eng.Fired(),
+		Flows:      res.Net.FlowsStarted,
+		JobsFailed: res.JobsFailed,
+		Crashed:    log.Count(event.MasterCrashed),
+		Recovered:  log.Count(event.MasterRecovered),
+		Rereg:      log.Count(event.TrackerReregistered),
+	}
+}
+
+// TestMasterCrashAcrossWindowEquivalence crashes both masters mid-window
+// and restarts them minutes of simulated time later, so the outage and the
+// recovery traffic (safe-mode block reports, tracker re-registrations)
+// straddle many conservative-lookahead barriers. The sharded engine must
+// reproduce the sequential oracle's run exactly, recovery events included.
+func TestMasterCrashAcrossWindowEquivalence(t *testing.T) {
+	sharded := masterCrashRun(t, false)
+	seq := masterCrashRun(t, true)
+	if sharded != seq {
+		t.Fatalf("engine paths diverge across the master outage:\nsharded:    %+v\nsequential: %+v", sharded, seq)
+	}
+	if sharded.Crashed != 2 || sharded.Recovered != 2 {
+		t.Fatalf("outage census off: %+v", sharded)
+	}
+	if sharded.Rereg == 0 {
+		t.Fatal("no tracker re-registered after the JobTracker restart")
+	}
+}

@@ -1,6 +1,10 @@
 package grid
 
-import "hog/internal/sim"
+import (
+	"fmt"
+
+	"hog/internal/sim"
+)
 
 // ChurnProfile selects how hostile the grid is. The paper's Figure 5 shows
 // two "stable" 55-node runs and one "unstable" run; profiles parameterise
@@ -128,6 +132,34 @@ func MegaGridSites(profile ChurnProfile) []SiteConfig {
 		applyChurn(&extra[i], profile)
 	}
 	return append(sites, extra...)
+}
+
+// GigaGridSites returns a synthetic ~104-site, ~100,000-slot grid — the
+// GIGA-GRID preset for hundred-thousand-node runs, three orders of
+// magnitude past the paper's 180 nodes and the scale the site-sharded
+// parallel engine targets. The first forty sites are the MegaGridSites
+// preset; the other sixty-four are generated opportunistic pools patterned
+// on a national-scale federation's mid-size providers, with capacities
+// cycling through 1150–1640 slots (deterministic in the site index, so the
+// preset is identical on every run). Uplinks stay at the OSG preset's
+// 2.4 Gbps: WAN contention per site grows with pool size exactly as the
+// fluid-flow model predicts, which is what keeps cross-site traffic — and
+// therefore the sharded engine's lookahead structure — honest at this
+// scale.
+func GigaGridSites(profile ChurnProfile) []SiteConfig {
+	sites := MegaGridSites(profile)
+	for i := 0; i < 64; i++ {
+		s := SiteConfig{
+			Name:        fmt.Sprintf("OSG_POOL_%02d", i),
+			Domain:      fmt.Sprintf("pool%02d.osg-federation.org", i),
+			Capacity:    1150 + 70*(i%8),
+			UplinkBps:   300e6,
+			DownlinkBps: 300e6,
+		}
+		applyChurn(&s, profile)
+		sites = append(sites, s)
+	}
+	return sites
 }
 
 // DefaultPoolConfig returns HOG's worker configuration: one map and one

@@ -91,6 +91,7 @@ func Specs() []Spec {
 		{"hod", "A-HOD: Hadoop On Demand baseline", expandHOD},
 		{"grid", "LARGE-GRID: ~1000 nodes across 12 sites", expandLargeGrid},
 		{"mega", "MEGA-GRID: ~10000 nodes across 40 sites", expandMegaGrid},
+		{"giga", "GIGA-GRID: ~100000 nodes across 104 sites, sharded parallel engine", expandGigaGrid},
 		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
 		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
 		{"chaos", "CHAOS: randomized fault schedules with audit + determinism check", expandChaos},
@@ -431,6 +432,23 @@ func expandMegaGrid(opts experiments.Options) []Trial {
 		Experiment: "mega", Point: "nodes=10000", Seed: opts.Seeds[0], Nodes: 10000, Scale: opts.Scale,
 		run: func() Metrics {
 			r := experiments.MegaGrid(opts)
+			return Metrics{
+				"response_s":      r.Response.Seconds(),
+				"reached_nodes":   float64(r.Reached),
+				"events_fired":    float64(r.EventsFired),
+				"flows_started":   float64(r.FlowsStarted),
+				"cross_site_frac": r.CrossSiteFrac,
+				"jobs_failed":     float64(r.JobsFailed),
+			}
+		},
+	}}
+}
+
+func expandGigaGrid(opts experiments.Options) []Trial {
+	return []Trial{{
+		Experiment: "giga", Point: "nodes=100000", Seed: opts.Seeds[0], Nodes: 100000, Scale: opts.Scale,
+		run: func() Metrics {
+			r := experiments.GigaGrid(opts)
 			return Metrics{
 				"response_s":      r.Response.Seconds(),
 				"reached_nodes":   float64(r.Reached),

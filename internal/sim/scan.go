@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ScanChunks is the fixed number of chunks ParallelScan splits a range
+// into. It is a constant — not GOMAXPROCS — so per-chunk intermediate
+// state a caller keeps (candidate slices, partial counts) has the same
+// layout on every machine.
+const ScanChunks = 8
+
+// ParallelScan runs f over the index range [0, n). Under the sharded
+// engine, when the range is at least minN and more than one CPU is
+// available, the range is split into ScanChunks half-open chunks
+// f(chunk, lo, hi) executed on parallel goroutines; otherwise f runs
+// once, inline, over the whole range.
+//
+// This is the escape hatch for the model layer's big periodic scans
+// (dead-tracker checks, reported-alive sampling): the event callbacks
+// themselves must stay serial to preserve the global firing order, but a
+// read-only scan *inside* one callback can fan out freely. The contract
+// that keeps results bit-identical to a sequential run is the caller's:
+// f must only read simulation state and write state owned by its chunk
+// index, and the caller must merge per-chunk results in chunk order —
+// chunks cover contiguous ascending ranges, so that merge reproduces the
+// plain loop's order exactly.
+func (e *Engine) ParallelScan(n, minN int, f func(chunk, lo, hi int)) {
+	if !e.sharded || n < minN || runtime.NumCPU() < 2 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(ScanChunks)
+	for c := 0; c < ScanChunks; c++ {
+		go func(c int) {
+			defer wg.Done()
+			f(c, c*n/ScanChunks, (c+1)*n/ScanChunks)
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Site-sharded parallel event queue, the engine's default. The grid model
+// only couples sites through the WAN and through master heartbeats, so any
+// window shorter than the minimum cross-site latency is a conservative
+// lookahead: within it, each site's timer wheel can be settled independently.
+// shardQ exploits exactly that structure — it partitions pending events into
+// per-shard timing wheels (model layers tag events with their site via
+// Engine.SetShard) and advances in windows of that lookahead:
+//
+//   - At each window barrier the queue picks the next window start (the
+//     minimum lowerBound across shard wheels), then *stages* every shard in
+//     parallel: one goroutine per shard settles that shard's wheel up to the
+//     window end and extracts its due events, already (at, seq)-sorted.
+//   - Between barriers, execution is serial and merged: pop returns the
+//     global minimum (at, seq) across the staged lists' heads and the
+//     overlay heap, so callbacks fire in exactly the order the sequential
+//     wheel would fire them — bit-identical results, by construction, for
+//     any shard count, lookahead, or tagging.
+//   - Events scheduled by callbacks *inside* the current window (at <
+//     windowEnd) cannot go to a shard wheel — the window is already staged —
+//     so they land in the overlay heap, which the merge treats as one more
+//     sorted source. Events at or beyond the window end go to their shard's
+//     wheel; the wheel cursor never passes windowEnd-1, so no push can land
+//     behind a cursor.
+//
+// The parallel phase touches only per-shard state (each wheel, each staged
+// list, each event — an event belongs to exactly one shard); the engine's
+// allocator, RNG, and sequence counter are touched only in the serial phase.
+// That phase separation is what makes the queue race-free without locks.
+const (
+	stagedLevel  int8 = wheelLevels + 1 // in its shard's staged list at ev.index
+	overlayLevel int8 = wheelLevels + 2 // in the overlay heap at ev.index
+
+	defaultShards         = 8
+	defaultLookahead      = Second
+	defaultStageThreshold = 256
+)
+
+type shardQ struct {
+	wheels []*wheelQ
+	staged [][]*event // per shard: due events, (at, seq)-sorted, nil holes
+	head   []int      // per shard: first unconsumed staged index
+	over   eventHeap  // intra-window arrivals (at < windowEnd)
+
+	windowEnd Time // exclusive: every event < windowEnd is staged or overlay
+	resident  int  // events stored in shard wheels (all at >= windowEnd)
+	stagedN   int  // events stored in staged lists (excluding holes)
+
+	lookahead Time
+	threshold int // resident count below which staging stays inline
+}
+
+func newShardQ(shards int, lookahead Time, threshold int) *shardQ {
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	if lookahead <= 0 {
+		lookahead = defaultLookahead
+	}
+	if threshold <= 0 {
+		threshold = defaultStageThreshold
+	}
+	q := &shardQ{
+		wheels:    make([]*wheelQ, shards),
+		staged:    make([][]*event, shards),
+		head:      make([]int, shards),
+		lookahead: lookahead,
+		threshold: threshold,
+	}
+	for i := range q.wheels {
+		q.wheels[i] = newWheelQ()
+	}
+	return q
+}
+
+func (q *shardQ) size() int { return q.resident + q.stagedN + len(q.over) }
+
+// push routes ev by time: inside the current window it joins the overlay
+// heap (its shard's wheel is already staged past it), otherwise its shard's
+// wheel. The shard tag is folded into range here, once, so every later
+// unlink can index wheels[ev.shard] directly.
+func (q *shardQ) push(ev *event) {
+	if ev.at < q.windowEnd {
+		heap.Push(&q.over, ev)
+		ev.level = overlayLevel
+		return
+	}
+	s := int(ev.shard)
+	if s < 0 || s >= len(q.wheels) {
+		s = s % len(q.wheels)
+		if s < 0 {
+			s += len(q.wheels)
+		}
+		ev.shard = int32(s)
+	}
+	q.wheels[s].push(ev)
+	q.resident++
+}
+
+// update relocates ev after Reschedule changed its at and seq: unlink from
+// wherever it lives now, then re-route. A staged entry leaves a nil hole —
+// the sorted list is consumed from the head, so compaction would break the
+// index invariant of its neighbours.
+func (q *shardQ) update(ev *event) {
+	switch ev.level {
+	case stagedLevel:
+		q.staged[ev.shard][ev.index] = nil
+		ev.index = -1
+		q.stagedN--
+	case overlayLevel:
+		heap.Remove(&q.over, ev.index)
+	default:
+		q.wheels[ev.shard].unlink(ev)
+		q.resident--
+	}
+	q.push(ev)
+}
+
+func (q *shardQ) peek(limit Time) (Time, bool) {
+	ev := q.ensure(limit)
+	if ev == nil || ev.at > limit {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+func (q *shardQ) pop() *event {
+	ev := q.ensure(maxTime)
+	if ev == nil {
+		return nil
+	}
+	switch ev.level {
+	case overlayLevel:
+		heap.Pop(&q.over)
+	default: // stagedLevel: ev sits at its shard's head
+		q.staged[ev.shard][q.head[ev.shard]] = nil
+		q.head[ev.shard]++
+		q.stagedN--
+		ev.index = -1
+	}
+	return ev
+}
+
+// minPending returns the globally minimum (at, seq) event among the staged
+// heads and the overlay, or nil when both are exhausted. Staged and overlay
+// events all precede windowEnd while wheel residents are all at or beyond
+// it, so this minimum — when it exists — is the queue's true minimum.
+func (q *shardQ) minPending() *event {
+	var best *event
+	for i, st := range q.staged {
+		h := q.head[i]
+		for h < len(st) && st[h] == nil {
+			h++ // holes left by Reschedule
+		}
+		q.head[i] = h
+		if h < len(st) {
+			if ev := st[h]; best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+				best = ev
+			}
+		}
+	}
+	if len(q.over) > 0 {
+		if ev := q.over[0]; best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+			best = ev
+		}
+	}
+	return best
+}
+
+// ensure opens synchronization windows until some pending event is exposed,
+// or until every remaining event provably lies beyond limit. Each round
+// either stages events or strictly tightens the binding shard's lowerBound
+// (the bound's candidate is within the attempted window, so that shard's
+// settle must cascade), so the loop terminates.
+func (q *shardQ) ensure(limit Time) *event {
+	for {
+		if ev := q.minPending(); ev != nil {
+			return ev
+		}
+		if q.resident == 0 {
+			return nil
+		}
+		lb := maxTime
+		for _, w := range q.wheels {
+			if t, ok := w.lowerBound(); ok && t < lb {
+				lb = t
+			}
+		}
+		if lb > limit {
+			return nil // even the loosest bound clears the deadline
+		}
+		q.startWindow(lb)
+	}
+}
+
+// startWindow advances the barrier to [start, start+lookahead) and stages
+// every shard: settle each wheel to the window end and extract its due
+// events in (at, seq) order. With enough resident work the shards stage on
+// parallel goroutines — the phase that buys multi-core wall-clock at
+// GIGA-GRID scale — and inline below the threshold, where goroutine
+// handoff would cost more than it saves. Both paths produce identical
+// staged lists.
+func (q *shardQ) startWindow(start Time) {
+	end := start + q.lookahead
+	if end < start { // arithmetic overflow near maxTime
+		end = maxTime
+	}
+	q.windowEnd = end
+	stageLimit := end - 1 // wheel cursors must stay short of windowEnd
+	work := 0
+	for i, w := range q.wheels {
+		q.staged[i] = q.staged[i][:0] // consumed last window; keep backing array
+		q.head[i] = 0
+		if w.size() > 0 {
+			work++
+		}
+	}
+	if work >= 2 && q.resident >= q.threshold {
+		var wg sync.WaitGroup
+		for i, w := range q.wheels {
+			if w.size() == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, w *wheelQ) {
+				defer wg.Done()
+				q.stageShard(i, w, stageLimit)
+			}(i, w)
+		}
+		wg.Wait()
+	} else {
+		for i, w := range q.wheels {
+			if w.size() > 0 {
+				q.stageShard(i, w, stageLimit)
+			}
+		}
+	}
+	for i := range q.staged {
+		n := len(q.staged[i])
+		q.stagedN += n
+		q.resident -= n
+	}
+}
+
+// stageShard drains shard i's due events into its staged list. It touches
+// only shard-i state, so concurrent calls for distinct shards never race.
+func (q *shardQ) stageShard(i int, w *wheelQ, limit Time) {
+	dst := q.staged[i]
+	for w.settle(limit) {
+		ev := w.popReady()
+		ev.level = stagedLevel
+		ev.index = len(dst)
+		dst = append(dst, ev)
+	}
+	q.staged[i] = dst
+}

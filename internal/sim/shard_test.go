@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardedCfg builds a sharded-queue config that forces the parallel staging
+// path at toy scale.
+func shardedCfg(shards int, lookahead Time) Config {
+	return Config{Seed: 1, Shards: shards, Lookahead: lookahead, StageThreshold: 1}
+}
+
+// TestShardCountInvariance pins that the shard count and lookahead are pure
+// performance knobs: the randomized fingerprint is identical for every
+// partitioning, including a single shard and a pathological 1 µs window.
+func TestShardCountInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		oracle := fingerprintRun(Config{SequentialEngine: true}, seed)
+		shapes := []Config{
+			shardedCfg(1, 0),
+			shardedCfg(2, 10*Millisecond),
+			shardedCfg(8, Second),
+			shardedCfg(13, Minute),
+			shardedCfg(4, Microsecond),
+			{Seed: 1}, // stock defaults: threshold high enough to stage inline
+		}
+		for _, cfg := range shapes {
+			if got := fingerprintRun(cfg, seed); got != oracle {
+				t.Fatalf("seed %d: sharded %+v fingerprint %016x != sequential %016x", seed, cfg, got, oracle)
+			}
+		}
+	}
+}
+
+// TestBarrierBoundaryEvent covers an event landing exactly on a window
+// barrier: with lookahead L and the first event at t0, the window is
+// [t0, t0+L), so an event at exactly t0+L must wait for the next window
+// while t0+L-1 rides the current one. Both must fire, in order, at their
+// exact times, on every engine.
+func TestBarrierBoundaryEvent(t *testing.T) {
+	const L = 100 * Millisecond
+	run := func(cfg Config) []Time {
+		e := NewEngine(cfg)
+		var fires []Time
+		rec := func() { fires = append(fires, e.Now()) }
+		e.SetShard(0)
+		e.Schedule(Millisecond, rec) // opens window [1ms, 1ms+L)
+		e.SetShard(1)
+		e.Schedule(Millisecond+L, rec)   // exactly on the barrier
+		e.Schedule(Millisecond+L-1, rec) // last instant inside the window
+		e.SetShard(2)
+		e.Schedule(Millisecond+2*L, rec) // exactly on the *next* barrier
+		e.Run()
+		return fires
+	}
+	want := fmt.Sprint([]Time{Millisecond, Millisecond + L - 1, Millisecond + L, Millisecond + 2*L})
+	for _, cfg := range []Config{shardedCfg(4, L), shardedCfg(1, L), {Seed: 1, SequentialEngine: true}, {Seed: 1, HeapScheduler: true}} {
+		if got := fmt.Sprint(run(cfg)); got != want {
+			t.Fatalf("cfg %+v: fires %v, want %v", cfg, got, want)
+		}
+	}
+}
+
+// TestEmptyShardWindow covers shards with zero pending events: all work
+// tagged onto one shard of many, windows where some shards drained dry, and
+// a shard that only receives work after several barriers have passed.
+func TestEmptyShardWindow(t *testing.T) {
+	const L = 10 * Millisecond
+	run := func(cfg Config) []Time {
+		e := NewEngine(cfg)
+		var fires []Time
+		rec := func() { fires = append(fires, e.Now()) }
+		e.SetShard(3) // every event on one shard; 0,1,2,4..7 stay empty
+		for i := Time(1); i <= 5; i++ {
+			e.Schedule(i*25*Millisecond, rec) // one event per window, gaps between
+		}
+		e.Schedule(200*Millisecond, func() {
+			rec()
+			e.SetShard(5) // a silent shard wakes up mid-run
+			e.Schedule(e.Now()+30*Millisecond, rec)
+		})
+		e.Run()
+		return fires
+	}
+	seq := run(Config{Seed: 1, SequentialEngine: true})
+	for _, shards := range []int{1, 2, 8} {
+		if got, want := fmt.Sprint(run(shardedCfg(shards, L))), fmt.Sprint(seq); got != want {
+			t.Fatalf("shards=%d: fires %v, want %v", shards, got, want)
+		}
+	}
+	if len(seq) != 7 {
+		t.Fatalf("fired %d events, want 7", len(seq))
+	}
+}
+
+// TestIntraWindowScheduling covers the overlay path: a callback scheduling
+// new events inside the already-staged window, both before and after other
+// staged events, including zero-delay chains at the same instant.
+func TestIntraWindowScheduling(t *testing.T) {
+	const L = Second
+	run := func(cfg Config) []string {
+		e := NewEngine(cfg)
+		var order []string
+		e.SetShard(0)
+		e.Schedule(Millisecond, func() {
+			order = append(order, "a")
+			// Inside window [1ms, 1ms+1s): both land in the overlay.
+			e.Schedule(500*Millisecond, func() { order = append(order, "overlay-late") })
+			e.After(0, func() { order = append(order, "overlay-now") })
+		})
+		e.SetShard(1)
+		e.Schedule(400*Millisecond, func() { order = append(order, "staged-mid") })
+		e.Run()
+		return order
+	}
+	want := "[a overlay-now staged-mid overlay-late]"
+	for _, cfg := range []Config{shardedCfg(4, L), {Seed: 1, SequentialEngine: true}} {
+		if got := fmt.Sprint(run(cfg)); got != want {
+			t.Fatalf("cfg %+v: order %v, want %v", cfg, got, want)
+		}
+	}
+}
+
+// TestRescheduleStagedAndOverlay moves timers between every storage class
+// of the sharded queue: staged -> wheel, staged -> overlay, overlay ->
+// wheel, wheel -> overlay; and cancels a staged event. Firing times must
+// match the sequential engine's exactly.
+func TestRescheduleStagedAndOverlay(t *testing.T) {
+	const L = Second
+	run := func(cfg Config) []Time {
+		e := NewEngine(cfg)
+		var fires []Time
+		rec := func() { fires = append(fires, e.Now()) }
+		e.SetShard(0)
+		tStaged := e.Schedule(800*Millisecond, rec)
+		tStaged2 := e.Schedule(900*Millisecond, rec)
+		tGone := e.Schedule(850*Millisecond, rec)
+		e.SetShard(1)
+		e.Schedule(Millisecond, func() { // opens window [1ms, 1ms+1s)
+			rec()
+			tStaged.Reschedule(5 * Second)         // staged -> future window (wheel)
+			tStaged2.Reschedule(400 * Millisecond) // staged -> earlier, same window (overlay)
+			tGone.Cancel()                         // staged tombstone
+			tOv := e.After(200*Millisecond, rec)   // overlay
+			tOv.Reschedule(e.Now() + 10*Second)    // overlay -> wheel
+			tFar := e.Schedule(8*Second, rec)      // wheel
+			tFar.Reschedule(e.Now() + Millisecond) // wheel -> overlay
+		})
+		e.Run()
+		return fires
+	}
+	seq := run(Config{Seed: 1, SequentialEngine: true})
+	for _, shards := range []int{1, 4} {
+		if got, want := fmt.Sprint(run(shardedCfg(shards, L))), fmt.Sprint(seq); got != want {
+			t.Fatalf("shards=%d: fires %v, want %v", shards, got, want)
+		}
+	}
+	if len(seq) != 5 {
+		t.Fatalf("fired %d events, want 5", len(seq))
+	}
+}
+
+// TestTickerKeepsItsShard pins the inheritance rule: a ticker stays on the
+// shard it was created under even when its callback retags the engine, and
+// events scheduled inside a callback inherit the firing event's shard.
+func TestTickerKeepsItsShard(t *testing.T) {
+	e := NewEngine(shardedCfg(4, 50*Millisecond))
+	e.SetShard(2)
+	ticks := 0
+	var tk *Ticker
+	tk = e.Every(30*Millisecond, func() {
+		ticks++
+		if e.Shard() != 2 {
+			t.Fatalf("tick %d ran under shard %d, want 2", ticks, e.Shard())
+		}
+		e.SetShard(0) // must not migrate the ticker
+		if ticks == 5 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+// TestRunUntilAcrossWindows decomposes a run into many RunUntil slices whose
+// deadlines fall inside, exactly on, and beyond barrier boundaries; the
+// result must match one uninterrupted Run on the sequential engine.
+func TestRunUntilAcrossWindows(t *testing.T) {
+	const L = 100 * Millisecond
+	schedule := func(e *Engine, fires *[]Time) {
+		rec := func() { *fires = append(*fires, e.Now()) }
+		for i := 1; i <= 12; i++ {
+			e.SetShard(i)
+			e.Schedule(Time(i)*37*Millisecond, rec)
+		}
+	}
+	var want []Time
+	seqE := NewEngine(Config{Seed: 1, SequentialEngine: true})
+	schedule(seqE, &want)
+	seqE.Run()
+
+	var got []Time
+	e := NewEngine(shardedCfg(5, L))
+	schedule(e, &got)
+	deadlines := []Time{30 * Millisecond, 37 * Millisecond, 101 * Millisecond, 137 * Millisecond, 300 * Millisecond}
+	for _, d := range deadlines {
+		e.RunUntil(d)
+		if e.Now() != d {
+			t.Fatalf("now = %v after RunUntil(%v)", e.Now(), d)
+		}
+	}
+	e.Run()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("fires %v, want %v", got, want)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", e.Pending())
+	}
+}
+
+// TestParallelScan checks the model layer's scan helper: chunks must
+// exactly partition the range in ascending order, per-chunk results merged
+// in chunk order must equal the sequential scan, and the non-sharded
+// engines must get the single inline call the oracle contract promises.
+func TestParallelScan(t *testing.T) {
+	const n = 10_000
+	e := NewEngine(Config{Seed: 1})
+	if !e.Sharded() {
+		t.Fatal("default engine is not sharded")
+	}
+	var parts [ScanChunks][]int
+	e.ParallelScan(n, 1, func(c, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i%3 == 0 {
+				parts[c] = append(parts[c], i)
+			}
+		}
+	})
+	var got []int
+	for _, p := range parts {
+		got = append(got, p...)
+	}
+	want := 0
+	for _, i := range got {
+		if i != want {
+			t.Fatalf("merged scan yielded %d, want %d", i, want)
+		}
+		want += 3
+	}
+	if len(got) != (n+2)/3 {
+		t.Fatalf("merged %d hits, want %d", len(got), (n+2)/3)
+	}
+
+	// Below minN the scan must collapse to one inline chunk.
+	calls := 0
+	e.ParallelScan(100, 4096, func(c, lo, hi int) {
+		calls++
+		if c != 0 || lo != 0 || hi != 100 {
+			t.Fatalf("inline chunk = (%d, %d, %d)", c, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("inline scan made %d calls", calls)
+	}
+
+	// The sequential oracle never fans out, whatever the size.
+	seq := NewEngine(Config{Seed: 1, SequentialEngine: true})
+	calls = 0
+	seq.ParallelScan(n, 1, func(c, lo, hi int) {
+		calls++
+		if c != 0 || lo != 0 || hi != n {
+			t.Fatalf("sequential chunk = (%d, %d, %d)", c, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential scan made %d calls", calls)
+	}
+}

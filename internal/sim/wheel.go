@@ -196,6 +196,40 @@ func (w *wheelQ) settle(limit Time) bool {
 	}
 }
 
+// lowerBound returns a lower bound on the earliest stored event without
+// moving the cursor: the minimum candidate window start across levels (the
+// same candidates settle considers) and the overflow head. The bound is
+// exact once the minimum sits in a level-0 bucket; otherwise a following
+// settle tightens it by cascading, so repeated lowerBound/settle rounds
+// converge on the true minimum within wheelLevels cascades. The sharded
+// queue uses it to pick the next synchronization window without settling
+// a shard past the window's end.
+func (w *wheelQ) lowerBound() (Time, bool) {
+	if w.readyValid {
+		return w.readyTime, true
+	}
+	if w.count == 0 && len(w.over) == 0 {
+		return 0, false
+	}
+	best := maxTime
+	for l := 0; l < wheelLevels; l++ {
+		if w.occ[l] == 0 {
+			continue
+		}
+		shift := uint(wheelSlotBits * l)
+		s := bits.TrailingZeros64(w.occ[l])
+		span := Time(1) << shift
+		align := w.base &^ (span*wheelSlots - 1)
+		if start := align + Time(s)*span; start < best {
+			best = start
+		}
+	}
+	if len(w.over) > 0 && w.over[0].at < best {
+		best = w.over[0].at
+	}
+	return best, true
+}
+
 func (w *wheelQ) peek(limit Time) (Time, bool) {
 	if !w.settle(limit) {
 		return 0, false
@@ -209,6 +243,12 @@ func (w *wheelQ) pop() *event {
 	if !w.settle(maxTime) {
 		return nil
 	}
+	return w.popReady()
+}
+
+// popReady removes the minimum-seq event from the settled ready bucket.
+// Callers guarantee a preceding settle returned true.
+func (w *wheelQ) popReady() *event {
 	b := w.slots[0][w.readySlot]
 	mi := 0
 	for i := 1; i < len(b); i++ {

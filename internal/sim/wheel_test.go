@@ -7,24 +7,31 @@ import (
 	"testing"
 )
 
-// engineConfigs returns both engine configurations; every edge-case test in
-// this file runs against each, since the wheel and the heap must be
-// indistinguishable.
-func engineConfigs() []Config {
-	return []Config{
-		{Seed: 1},                      // timing wheel (default)
-		{Seed: 1, HeapScheduler: true}, // binary heap baseline
+// engineConfig names one engine configuration for table-driven edge tests.
+type engineConfig struct {
+	name string
+	cfg  Config
+}
+
+// engineConfigs returns every engine configuration; each edge-case test in
+// this file runs against all of them, since the sharded queue, the
+// sequential wheel and the heap must be indistinguishable. The sharded
+// entries force StageThreshold 1 so the parallel staging path runs even at
+// toy scale (and so the race detector sees it), and include a deliberately
+// tiny lookahead so tests cross many barrier windows.
+func engineConfigs() []engineConfig {
+	return []engineConfig{
+		{"sharded", Config{Seed: 1, StageThreshold: 1}},
+		{"sharded-narrow", Config{Seed: 1, Shards: 3, Lookahead: 50 * Millisecond, StageThreshold: 1}},
+		{"wheel", Config{Seed: 1, SequentialEngine: true}},
+		{"heap", Config{Seed: 1, HeapScheduler: true}},
 	}
 }
 
 func forBothEngines(t *testing.T, f func(t *testing.T, cfg Config)) {
 	t.Helper()
-	for _, cfg := range engineConfigs() {
-		name := "wheel"
-		if cfg.HeapScheduler {
-			name = "heap"
-		}
-		t.Run(name, func(t *testing.T) { f(t, cfg) })
+	for _, ec := range engineConfigs() {
+		t.Run(ec.name, func(t *testing.T) { f(t, ec.cfg) })
 	}
 }
 
@@ -34,9 +41,10 @@ func forBothEngines(t *testing.T, f func(t *testing.T, cfg Config)) {
 // sequence (time, marker). The op stream comes from its own rand source, so
 // it is identical for both engines by construction; the hash then certifies
 // the firing order is too.
-func fingerprintRun(heap bool, seed int64) uint64 {
+func fingerprintRun(cfg Config, seed int64) uint64 {
 	r := rand.New(rand.NewSource(seed))
-	e := NewEngine(Config{Seed: seed, HeapScheduler: heap})
+	cfg.Seed = seed
+	e := NewEngine(cfg)
 	h := fnv.New64a()
 	record := func(marker int) {
 		var buf [16]byte
@@ -55,6 +63,13 @@ func fingerprintRun(heap bool, seed int64) uint64 {
 	var mutate func()
 	mutate = func() {
 		for k := 0; k < 4; k++ {
+			if r.Intn(3) == 0 {
+				// Retag the current logical process; under the sharded queue
+				// this spreads the schedule across shard wheels (including
+				// out-of-range tags, which must fold in), and under the
+				// sequential engines it must change nothing at all.
+				e.SetShard(r.Intn(11) - 2)
+			}
 			switch r.Intn(12) {
 			case 0, 1, 2: // near-future event that keeps the churn going
 				m := nextMarker
@@ -121,16 +136,18 @@ func fingerprintRun(heap bool, seed int64) uint64 {
 	return h.Sum64()
 }
 
-// TestEngineFingerprintEquivalence pins the tentpole contract: the timing
-// wheel fires exactly the same events at exactly the same times in exactly
-// the same order as the binary heap, across randomized schedules that cover
-// cancels, reschedules, tickers, ties, and overflow.
+// TestEngineFingerprintEquivalence pins the tentpole contract: every engine
+// configuration — sharded parallel queues of several shapes, the sequential
+// timing wheel, the binary heap — fires exactly the same events at exactly
+// the same times in exactly the same order, across randomized schedules
+// that cover cancels, reschedules, tickers, ties, and overflow.
 func TestEngineFingerprintEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
-		wheel := fingerprintRun(false, seed)
-		heap := fingerprintRun(true, seed)
-		if wheel != heap {
-			t.Fatalf("seed %d: wheel fingerprint %016x != heap fingerprint %016x", seed, wheel, heap)
+		oracle := fingerprintRun(Config{HeapScheduler: true}, seed)
+		for _, ec := range engineConfigs() {
+			if got := fingerprintRun(ec.cfg, seed); got != oracle {
+				t.Fatalf("seed %d: %s fingerprint %016x != heap fingerprint %016x", seed, ec.name, got, oracle)
+			}
 		}
 	}
 }

@@ -47,7 +47,8 @@ type Option func(*builder)
 // New builds a simulated system from functional options and returns a
 // descriptive error — never a panic — when the configuration is invalid.
 // Exactly one worker-supply option is required: WithHOGPool, WithLargeGrid,
-// WithMegaGrid, WithDedicatedCluster, WithStaticGroups, or WithConfig. The supply option
+// WithMegaGrid, WithGigaGrid, WithDedicatedCluster, WithStaticGroups, or
+// WithConfig. The supply option
 // establishes the base configuration; every other option refines it, in the
 // order written, regardless of where the supply option appears:
 //
@@ -67,7 +68,7 @@ func New(opts ...Option) (*System, error) {
 		o(b)
 	}
 	if !b.supply {
-		return nil, errors.New("hog: no worker supply configured; use WithHOGPool, WithLargeGrid, WithMegaGrid, WithDedicatedCluster, WithStaticGroups, or WithConfig")
+		return nil, errors.New("hog: no worker supply configured; use WithHOGPool, WithLargeGrid, WithMegaGrid, WithGigaGrid, WithDedicatedCluster, WithStaticGroups, or WithConfig")
 	}
 	for _, f := range b.deferred {
 		f(b)
@@ -145,6 +146,20 @@ func WithMegaGrid(targetNodes int, churn ChurnProfile) Option {
 	}
 }
 
+// WithGigaGrid selects the ~104-site GigaGridSites preset for runs around
+// 100,000 nodes — the GIGA-GRID scale point built for the site-sharded
+// parallel engine (see docs/PERF.md and docs/HARNESS.md).
+func WithGigaGrid(targetNodes int, churn ChurnProfile) Option {
+	return func(b *builder) {
+		if targetNodes <= 0 {
+			b.errf("WithGigaGrid: non-positive target %d", targetNodes)
+			return
+		}
+		b.cfg = core.GigaGridConfig(targetNodes, churn, b.cfg.Seed)
+		b.supply = true
+	}
+}
+
 // WithDedicatedCluster selects the paper's Table III comparison cluster
 // (30 nodes, 100 map and 30 reduce slots, one rack, stock Hadoop settings).
 func WithDedicatedCluster() Option {
@@ -189,7 +204,7 @@ func WithSites(sites ...SiteConfig) Option {
 	return func(b *builder) {
 		b.later(func(b *builder) {
 			if b.cfg.Grid == nil {
-				b.errf("WithSites requires a grid supply (WithHOGPool, WithLargeGrid, or WithMegaGrid)")
+				b.errf("WithSites requires a grid supply (WithHOGPool, WithLargeGrid, WithMegaGrid, or WithGigaGrid)")
 				return
 			}
 			if len(sites) == 0 {
@@ -207,7 +222,7 @@ func WithPool(mut func(*PoolConfig)) Option {
 	return func(b *builder) {
 		b.later(func(b *builder) {
 			if b.cfg.Grid == nil {
-				b.errf("WithPool requires a grid supply (WithHOGPool, WithLargeGrid, or WithMegaGrid)")
+				b.errf("WithPool requires a grid supply (WithHOGPool, WithLargeGrid, WithMegaGrid, or WithGigaGrid)")
 				return
 			}
 			mut(&b.cfg.Grid.Pool)
@@ -216,12 +231,22 @@ func WithPool(mut func(*PoolConfig)) Option {
 }
 
 // WithHeapScheduler runs the simulation on the retained binary-heap event
-// queue instead of the default hierarchical timing wheel. The two engines
-// fire events in exactly the same order — every run is bit-identical either
-// way — so this option only matters for equivalence testing and
-// benchmarking the engines against each other.
+// queue instead of the default site-sharded engine. The engines fire events
+// in exactly the same order — every run is bit-identical either way — so
+// this option only matters for equivalence testing and benchmarking the
+// engines against each other.
 func WithHeapScheduler() Option {
 	return func(b *builder) { b.later(func(b *builder) { b.cfg.HeapScheduler = true }) }
+}
+
+// WithSequentialEngine runs the simulation on the single sequential timing
+// wheel instead of the default site-sharded parallel engine. The sequential
+// wheel is the oracle the sharded engine is pinned against: events fire in
+// exactly the same order under both, so every run is bit-identical either
+// way (hogbench -seq, CI cmp gate) and the option only matters for
+// equivalence testing and for measuring the sharded engine's speedup.
+func WithSequentialEngine() Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.SequentialEngine = true }) }
 }
 
 // WithZombies selects the preempted-daemon behaviour (§IV.D.1): ZombieFixed,
