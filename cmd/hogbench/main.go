@@ -28,8 +28,13 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"slices"
+	"strings"
+
 	"hog/internal/experiments"
 	"hog/internal/harness"
+	"hog/internal/hdfs"
+	"hog/internal/mapred"
 )
 
 type runner struct {
@@ -62,6 +67,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"sched":     experiments.PrintSchedScale,
 	"events":    experiments.PrintEventCounts,
 	"chaos":     experiments.PrintChaos,
+	"policy":    experiments.PrintPolicy,
 }
 
 // runners derives the text-path registry from the harness spec registry,
@@ -81,6 +87,58 @@ func runners() []runner {
 	return out
 }
 
+// policyFlags describes the global policy-forcing flags: each row is one
+// decision point with its flag name and registry listing. listText and the
+// flag validation both walk this table, so -list can never drift from what
+// the flags accept.
+type policyFlag struct {
+	flag  string
+	desc  string
+	names func() []string
+}
+
+func policyFlags() []policyFlag {
+	return []policyFlag{
+		{"sched", "job-ordering policy", mapred.SchedulerPolicyNames},
+		{"place", "block-placement policy", hdfs.PlacementPolicyNames},
+		{"spec", "straggler criterion", mapred.SpeculationPolicyNames},
+		{"repl", "block-recovery order", hdfs.ReplicationOrderNames},
+	}
+}
+
+// listText renders the -list output: the experiment registry followed by the
+// policy registries (already sorted by their Names functions).
+func listText() string {
+	var b strings.Builder
+	for _, r := range runners() {
+		fmt.Fprintf(&b, "%-10s %s\n", r.id, r.desc)
+	}
+	b.WriteString("\npolicies (forced globally by flag; swept by -exp policy):\n")
+	for _, p := range policyFlags() {
+		fmt.Fprintf(&b, "  -%-6s %-22s %s\n", p.flag, p.desc, strings.Join(p.names(), ", "))
+	}
+	return b.String()
+}
+
+// checkPolicyName validates one policy flag value against its registry,
+// returning a usage error naming the valid choices. Empty keeps the default.
+func checkPolicyName(pf policyFlag, val string) error {
+	if val == "" || slices.Contains(pf.names(), val) {
+		return nil
+	}
+	return fmt.Errorf("unknown %s %q for -%s; known: %s",
+		pf.desc, val, pf.flag, strings.Join(pf.names(), ", "))
+}
+
+// experimentIDs returns every runnable -exp value, aliases included.
+func experimentIDs() []string {
+	var ids []string
+	for _, r := range runners() {
+		ids = append(ids, r.id)
+	}
+	return ids
+}
+
 // main delegates to run so deferred profile writers flush on every exit
 // path — os.Exit would skip them and leave truncated pprof files.
 func main() {
@@ -97,6 +155,10 @@ func run() int {
 	scan := flag.Bool("scan", false, "force the linear-scan scheduler baseline (results must be bit-identical)")
 	heap := flag.Bool("heap", false, "force the binary-heap event queue baseline (results must be bit-identical)")
 	seq := flag.Bool("seq", false, "force the sequential timing-wheel engine instead of the sharded parallel default (results must be bit-identical)")
+	schedPol := flag.String("sched", "", "force a job-ordering policy in every run (see -list)")
+	placePol := flag.String("place", "", "force a block-placement policy in every run (see -list)")
+	specPol := flag.String("spec", "", "force a straggler criterion in every run (see -list)")
+	replPol := flag.String("repl", "", "force a block-recovery order in every run (see -list)")
 	parallel := flag.Int("parallel", 1, "worker pool size for the trial matrix")
 	jsonOut := flag.Bool("json", false, "emit the versioned JSON results document")
 	outPath := flag.String("out", "", "write output to this file instead of stdout")
@@ -134,9 +196,7 @@ func run() int {
 
 	rs := runners()
 	if *list {
-		for _, r := range rs {
-			fmt.Printf("%-10s %s\n", r.id, r.desc)
-		}
+		fmt.Print(listText())
 		return 0
 	}
 
@@ -150,6 +210,16 @@ func run() int {
 	opts.ScanScheduler = *scan
 	opts.HeapScheduler = *heap
 	opts.SequentialEngine = *seq
+	opts.SchedulerPolicy = *schedPol
+	opts.PlacementPolicy = *placePol
+	opts.SpeculationPolicy = *specPol
+	opts.ReplicationOrder = *replPol
+	for i, val := range []string{*schedPol, *placePol, *specPol, *replPol} {
+		if err := checkPolicyName(policyFlags()[i], val); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
 
 	// Validate the id before touching -out, so a typo can't truncate a
 	// previous artifact.
@@ -160,7 +230,8 @@ func run() int {
 		}
 	}
 	if !valid {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s (use -list for details)\n",
+			*exp, strings.Join(experimentIDs(), ", "))
 		return 2
 	}
 

@@ -30,7 +30,9 @@ import (
 	"hog/internal/experiments"
 	"hog/internal/grid"
 	"hog/internal/harness"
+	"hog/internal/hdfs"
 	"hog/internal/hod"
+	"hog/internal/mapred"
 	"hog/internal/metrics"
 	"hog/internal/mrlocal"
 	"hog/internal/sim"
@@ -53,6 +55,12 @@ type (
 	Result = core.Result
 	// ZombieMode selects preempted-daemon behaviour (paper §IV.D.1).
 	ZombieMode = core.ZombieMode
+	// Policies selects the pluggable scheduling, speculation, placement,
+	// and replication policies by registry name (docs/POLICIES.md).
+	Policies = core.Policies
+	// FairPoolConfig parameterises one fair-share pool ("fair" scheduler);
+	// distinct from PoolConfig, which shapes the glide-in worker pool.
+	FairPoolConfig = mapred.PoolConfig
 	// ChurnProfile selects grid hostility (none, stable, unstable).
 	ChurnProfile = grid.ChurnProfile
 	// SiteConfig describes one grid site.
@@ -192,6 +200,19 @@ func QuickOptions() ExperimentOptions { return experiments.Quick() }
 
 // FullOptions returns the paper-scale experiment options.
 func FullOptions() ExperimentOptions { return experiments.Full() }
+
+// SchedulerPolicyNames lists the registered job-ordering policies, sorted.
+func SchedulerPolicyNames() []string { return mapred.SchedulerPolicyNames() }
+
+// SpeculationPolicyNames lists the registered straggler criteria, sorted.
+func SpeculationPolicyNames() []string { return mapred.SpeculationPolicyNames() }
+
+// PlacementPolicyNames lists the registered block-placement policies, sorted.
+func PlacementPolicyNames() []string { return hdfs.PlacementPolicyNames() }
+
+// ReplicationOrderNames lists the registered block-recovery orderings,
+// sorted.
+func ReplicationOrderNames() []string { return hdfs.ReplicationOrderNames() }
 
 // ExperimentIDs lists the runnable experiment ids (hogbench -list).
 func ExperimentIDs() []string {

@@ -17,7 +17,13 @@
 //     count, and the done class agrees with the completion counters;
 //   - per tracker, slot usage stays within [0, slots] and matches the live
 //     attempt set;
-//   - no job reports success with incomplete maps or reduces.
+//   - no job reports success with incomplete maps or reduces;
+//   - a speculative launch (a task's second or later running copy) is
+//     justified by the active speculation policy's straggler criterion at
+//     launch time, or by the eager-redundancy budget;
+//   - under the fair scheduler, no pool's running tasks exceed its
+//     configured cap, and the incremental per-pool counters agree with a
+//     recount from tracker state.
 package audit
 
 import (
@@ -155,6 +161,18 @@ func (a *Auditor) HandleEvent(ev event.Event) {
 				a.violate(ev.Time, "tracker-reregister", "node %d re-registered but tracker not alive", ev.Node)
 			}
 		}
+	case event.TaskLaunched:
+		if a.jt != nil {
+			kind := mapred.KindMap
+			if ev.Kind == event.ReduceTask {
+				kind = mapred.KindReduce
+			}
+			if spec, ok := a.jt.SpeculativeLaunchCheck(ev.Job, ev.Task, kind, ev.Node); spec && !ok {
+				a.violate(ev.Time, "speculation-policy",
+					"job %d %s task %d launched a speculative copy on node %d the %q policy does not justify",
+					ev.Job, kind, ev.Task, ev.Node, a.jt.SpeculationPolicyName())
+			}
+		}
 	case event.JobFinished:
 		if a.jt != nil && ev.Detail == "succeeded" {
 			for _, j := range a.jt.Jobs() {
@@ -257,6 +275,39 @@ func (a *Auditor) sweepMapRed(now sim.Time) {
 		if rd != j.CompletedReduces() {
 			a.violate(now, "task-conservation", "job %d done reduces %d != completed counter %d",
 				j.ID, rd, j.CompletedReduces())
+		}
+	}
+	a.sweepPools(now)
+}
+
+// sweepPools cross-checks the fair scheduler's substrate: the incremental
+// per-pool running counters against an independent recount from the
+// trackers' attempt sets, and — when the fair policy is active — each
+// pool's running tasks against its configured cap. The counters are
+// maintained unconditionally (they are cheap), so the conservation check
+// runs under every scheduler policy.
+func (a *Auditor) sweepPools(now sim.Time) {
+	jt := a.jt
+	recount := jt.RunningByPool()
+	pools := make([]string, 0, len(recount))
+	for pool := range recount {
+		pools = append(pools, pool)
+	}
+	sort.Strings(pools)
+	fair := jt.SchedulerPolicyName() == mapred.SchedulerFair
+	for _, pool := range pools {
+		n := recount[pool]
+		if got := jt.PoolRunning(pool); got != n {
+			a.violate(now, "pool-conservation", "pool %q counter %d disagrees with recount %d", pool, got, n)
+		}
+		if cap := jt.PoolConfigFor(pool).MaxRunning; fair && cap > 0 && n > cap {
+			a.violate(now, "pool-cap", "pool %q runs %d tasks over its cap %d", pool, n, cap)
+		}
+	}
+	// Pools the recount never saw must not be credited with running tasks.
+	for _, pool := range jt.PoolsWithRunning() {
+		if _, seen := recount[pool]; !seen {
+			a.violate(now, "pool-conservation", "pool %q counter %d but no live attempts", pool, jt.PoolRunning(pool))
 		}
 	}
 }

@@ -110,6 +110,13 @@ type Config struct {
 	MapRed mapred.Config
 	Costs  JobCosts
 
+	// Policies selects the pluggable decision points by registry name. Empty
+	// fields keep the defaults, which reproduce the pre-extraction behaviour
+	// bit for bit. Non-empty names override the corresponding subsystem
+	// config fields (HDFS.PlacementPolicy etc.) and are validated against
+	// the registries by Validate.
+	Policies Policies
+
 	// HeapScheduler runs the simulation on the retained binary-heap event
 	// queue instead of the default site-sharded engine. The engines are
 	// bit-identical on every run (hogbench -heap, CI cmp gate); the knob
@@ -140,6 +147,24 @@ type Config struct {
 	// deliberately below the masters' 30 s dead timeouts so a worker always
 	// re-registers before a recovered master could declare it dead.
 	MasterBackoffMax sim.Time
+}
+
+// Policies names the pluggable policies for the four extracted decision
+// points. Each name must be registered in the owning subsystem (see
+// mapred.SchedulerPolicyNames, mapred.SpeculationPolicyNames,
+// hdfs.PlacementPolicyNames, hdfs.ReplicationOrderNames); the empty string
+// selects that point's default.
+type Policies struct {
+	// Scheduler orders jobs for slot assignment ("fifo", "fair").
+	Scheduler string
+	// Speculation decides when a running task is a straggler worth a
+	// redundant copy ("threshold", "site-load").
+	Speculation string
+	// Placement chooses replica targets for writes and recovery copies
+	// ("grid", "random").
+	Placement string
+	// Replication orders the block-recovery queue ("fifo", "rarest").
+	Replication string
 }
 
 // GridConfig holds the grid-specific parts of a Config.
@@ -345,6 +370,22 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 	}
 	if cfg.MasterBackoffMax <= 0 {
 		cfg.MasterBackoffMax = 15 * sim.Second
+	}
+	// Fold the top-level policy selections into the subsystem configs before
+	// the masters are built; Validate has already vetted the names.
+	if p := cfg.Policies; p != (Policies{}) {
+		if p.Scheduler != "" {
+			cfg.MapRed.SchedulerPolicy = p.Scheduler
+		}
+		if p.Speculation != "" {
+			cfg.MapRed.SpeculationPolicy = p.Speculation
+		}
+		if p.Placement != "" {
+			cfg.HDFS.PlacementPolicy = p.Placement
+		}
+		if p.Replication != "" {
+			cfg.HDFS.ReplicationOrder = p.Replication
+		}
 	}
 	// Conservative lookahead for the sharded engine: sites only couple
 	// through the WAN (one-way latency) and through master heartbeats
@@ -710,6 +751,11 @@ type Result struct {
 	MapLocality [3]int
 	// Counters aggregated over all jobs.
 	Counters mapred.Counters
+
+	// TaskSeconds sums completed map and reduce execution time over all
+	// jobs — the useful-work numerator of the harness's slot-utilisation
+	// metric (Area supplies the available node-seconds denominator).
+	TaskSeconds float64
 }
 
 // Summary returns response-time order statistics over jobs.
@@ -785,6 +831,7 @@ func (s *System) RunWorkload(sched *workload.Schedule) *Result {
 		res.Counters.SpeculativeReduces += c.SpeculativeReduces
 		res.Counters.MapsReExecuted += c.MapsReExecuted
 		res.Counters.FetchFailures += c.FetchFailures
+		res.TaskSeconds += j.CompletedWork().Seconds()
 	}
 	return res
 }

@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"hog/internal/hdfs"
+	"hog/internal/mapred"
 )
 
 // Validate checks a Config for structural errors before any simulation state
@@ -48,11 +51,62 @@ func Validate(cfg Config) error {
 			return fmt.Errorf("core: static group %d has no task slots", i)
 		}
 	}
+	if err := validatePolicies(cfg); err != nil {
+		return err
+	}
 	if cfg.SampleInterval < 0 {
 		return fmt.Errorf("core: negative sample interval %v", cfg.SampleInterval)
 	}
 	if cfg.RunBound < 0 {
 		return fmt.Errorf("core: negative run bound %v", cfg.RunBound)
+	}
+	return nil
+}
+
+// validatePolicies vets every policy name — whether set through the
+// top-level Policies block or directly on the subsystem configs — against
+// the owning registry, rejects combinations that cannot work, and checks
+// fair-share pool parameters. Construction never re-checks: NewSystem folds
+// Policies into the subsystem configs after this passes.
+func validatePolicies(cfg Config) error {
+	sched := cfg.Policies.Scheduler
+	if sched == "" {
+		sched = cfg.MapRed.SchedulerPolicy
+	}
+	if _, err := mapred.NewSchedulerPolicy(sched); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if cfg.MapRed.ScanScheduler && sched != "" && sched != mapred.SchedulerFIFO {
+		return fmt.Errorf("core: scheduler policy %q requires the indexed scheduler; it cannot be combined with ScanScheduler", sched)
+	}
+	spec := cfg.Policies.Speculation
+	if spec == "" {
+		spec = cfg.MapRed.SpeculationPolicy
+	}
+	if _, err := mapred.NewSpeculationPolicy(spec); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	place := cfg.Policies.Placement
+	if place == "" {
+		place = cfg.HDFS.PlacementPolicy
+	}
+	if _, err := hdfs.NewPlacementPolicy(place); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	repl := cfg.Policies.Replication
+	if repl == "" {
+		repl = cfg.HDFS.ReplicationOrder
+	}
+	if _, err := hdfs.NewReplicationOrder(repl); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	for name, pc := range cfg.MapRed.Pools {
+		if pc.Weight < 0 {
+			return fmt.Errorf("core: pool %q has negative weight %g", name, pc.Weight)
+		}
+		if pc.MaxRunning < 0 {
+			return fmt.Errorf("core: pool %q has negative running cap %d", name, pc.MaxRunning)
+		}
 	}
 	return nil
 }

@@ -47,6 +47,19 @@ type Options struct {
 	// requires bit-identical documents, so — like the other engine knobs —
 	// it is absent from the JSON document.
 	SequentialEngine bool
+
+	// SchedulerPolicy, SpeculationPolicy, PlacementPolicy, and
+	// ReplicationOrder force the named policy in every simulated system
+	// (hogbench -sched, -spec, -place, -repl). Unlike the engine knobs
+	// above these CAN change results — they are ablation selectors, not
+	// equivalence oracles — but the empty string keeps each decision
+	// point's default, under which every run is bit-identical to the
+	// pre-policy behaviour. The POLICY experiment ignores them for the
+	// decision point it is sweeping.
+	SchedulerPolicy   string
+	SpeculationPolicy string
+	PlacementPolicy   string
+	ReplicationOrder  string
 }
 
 // tune applies the option-level knobs to a built core config.
@@ -54,6 +67,18 @@ func (o Options) tune(cfg core.Config) core.Config {
 	cfg.MapRed.ScanScheduler = o.ScanScheduler
 	cfg.HeapScheduler = o.HeapScheduler
 	cfg.SequentialEngine = o.SequentialEngine
+	if o.SchedulerPolicy != "" {
+		cfg.Policies.Scheduler = o.SchedulerPolicy
+	}
+	if o.SpeculationPolicy != "" {
+		cfg.Policies.Speculation = o.SpeculationPolicy
+	}
+	if o.PlacementPolicy != "" {
+		cfg.Policies.Placement = o.PlacementPolicy
+	}
+	if o.ReplicationOrder != "" {
+		cfg.Policies.Replication = o.ReplicationOrder
+	}
 	return cfg
 }
 

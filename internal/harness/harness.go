@@ -95,6 +95,7 @@ func Specs() []Spec {
 		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
 		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
 		{"chaos", "CHAOS: randomized fault schedules with audit + determinism check", expandChaos},
+		{"policy", "POLICY: pluggable-policy ablation across the four decision points", expandPolicy},
 	}
 }
 
@@ -507,6 +508,34 @@ func expandChaos(opts experiments.Options) []Trial {
 				}
 			},
 		})
+	}
+	return trials
+}
+
+func expandPolicy(opts experiments.Options) []Trial {
+	var trials []Trial
+	for _, p := range experiments.PolicyPairs() {
+		for _, name := range []string{p.Baseline, p.Variant} {
+			for _, seed := range opts.Seeds {
+				p, name, seed := p, name, seed
+				trials = append(trials, Trial{
+					Experiment: "policy", Point: fmt.Sprintf("%s=%s", p.Kind, name),
+					Seed: seed, Nodes: 60, Scale: opts.Scale,
+					run: func() Metrics {
+						r := experiments.PolicyTrial(p.Kind, name, p.Churn, seed, opts)
+						return Metrics{
+							"response_s":    r.Response.Seconds(),
+							"p50_s":         r.P50.Seconds(),
+							"p95_s":         r.P95.Seconds(),
+							"p99_s":         r.P99.Seconds(),
+							"locality_rate": r.LocalityRate,
+							"slot_util":     r.SlotUtil,
+							"jobs_failed":   float64(r.JobsFailed),
+						}
+					},
+				})
+			}
+		}
 	}
 	return trials
 }

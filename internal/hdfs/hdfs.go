@@ -58,6 +58,12 @@ type Config struct {
 	// blocks as suspect. Datanodes that never report are handled by the
 	// ordinary dead-node path afterwards.
 	SafeModeTimeout sim.Time
+	// PlacementPolicy names the replica-placement policy (policy.go
+	// registry); empty selects "grid", the paper's site-aware rule.
+	PlacementPolicy string
+	// ReplicationOrder names the recovery-queue ordering; empty selects
+	// "fifo", recovery in loss order.
+	ReplicationOrder string
 }
 
 // DefaultConfig returns stock-Hadoop-like parameters.
@@ -224,6 +230,11 @@ type Namenode struct {
 	replStreams int
 	streams     map[*replStream]struct{}
 
+	// place and replOrder are the active placement and recovery-order
+	// policies (policy.go), resolved by name from the configuration.
+	place     PlacementPolicy
+	replOrder ReplicationOrder
+
 	decommissioning map[netmodel.NodeID]func()
 
 	// Master failure and recovery state (safemode.go). down is true between
@@ -267,7 +278,7 @@ type Namenode struct {
 // NewNamenode creates a namenode; Start must be called to begin dead-node
 // scanning.
 func NewNamenode(eng *sim.Engine, net *netmodel.Network, dt *disk.Tracker, cfg Config) *Namenode {
-	return &Namenode{
+	nn := &Namenode{
 		eng:        eng,
 		net:        net,
 		disk:       dt,
@@ -280,6 +291,14 @@ func NewNamenode(eng *sim.Engine, net *netmodel.Network, dt *disk.Tracker, cfg C
 		replQueued: make(map[BlockID]struct{}),
 		streams:    make(map[*replStream]struct{}),
 	}
+	var err error
+	if nn.place, err = NewPlacementPolicy(nn.cfg.PlacementPolicy); err != nil {
+		panic(err)
+	}
+	if nn.replOrder, err = NewReplicationOrder(nn.cfg.ReplicationOrder); err != nil {
+		panic(err)
+	}
+	return nn
 }
 
 // Config returns the namenode's effective configuration.

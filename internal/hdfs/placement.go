@@ -88,99 +88,19 @@ func (nn *Namenode) spreadAcrossSites(cands []*DatanodeInfo, skipIx int, n int, 
 	return targets
 }
 
-// chooseTargets picks n distinct live datanodes with room for a block of the
-// given size, excluding the nodes in exclude. writer, if a live datanode, is
-// preferred for the first replica (Hadoop places replica one on the writing
-// node). With SiteAware placement, the second replica goes to a different
-// site than the first and subsequent replicas are spread so that replicas
-// cover as many sites as possible — the paper's generalisation of Hadoop's
-// source-rack + one-other-rack rule to the site failure domain. Without site
-// awareness, targets are uniformly random.
-//
-// Fewer than n targets are returned when the cluster cannot satisfy the
-// request; callers queue the block for later re-replication.
+// chooseTargets picks replica targets for a new block through the active
+// placement policy (policy.go; the default "grid" policy documents the
+// paper's rule). Fewer than n targets are returned when the cluster cannot
+// satisfy the request; callers queue the block for later re-replication.
 func (nn *Namenode) chooseTargets(writer netmodel.NodeID, size float64, n int, exclude map[netmodel.NodeID]struct{}) []netmodel.NodeID {
-	if n <= 0 {
-		return nil
-	}
-	cands := nn.gatherCandidates(size, exclude)
-	if len(cands) == 0 {
-		return nil
-	}
-
-	var targets []netmodel.NodeID
-	skipIx := -1
-
-	// Replica 1: the writer itself when possible (data locality for the
-	// producing task).
-	if w, ok := nn.datanodes[writer]; ok && w.Alive {
-		if _, ex := exclude[writer]; !ex && nn.disk.Free(writer) >= size {
-			for i := range cands {
-				if cands[i].ID == writer {
-					targets = append(targets, writer)
-					skipIx = i
-					break
-				}
-			}
-		}
-	}
-
-	if !nn.cfg.SiteAware {
-		for i := 0; len(targets) < n && i < len(cands); i++ {
-			if i == skipIx {
-				continue
-			}
-			targets = append(targets, cands[i].ID)
-		}
-		return targets
-	}
-
-	// Site-aware spreading, seeded with the replicas chosen so far.
-	for s := range nn.siteCounts {
-		nn.siteCounts[s] = 0
-	}
-	for _, id := range targets {
-		nn.siteCounts[nn.datanodes[id].siteIx]++
-	}
-	return nn.spreadAcrossSites(cands, skipIx, n, targets)
+	return nn.place.ChooseTargets(nn, writer, size, n, exclude)
 }
 
-// chooseReplicationTargets picks targets for re-replicating block b,
-// counting its existing replicas toward the site spread.
+// chooseReplicationTargets picks targets for re-replicating block b through
+// the active placement policy, counting its existing replicas toward the
+// spread.
 func (nn *Namenode) chooseReplicationTargets(b *BlockInfo, n int) []netmodel.NodeID {
-	exclude := make(map[netmodel.NodeID]struct{}, len(b.replicas)+len(b.pending))
-	for id := range b.replicas {
-		exclude[id] = struct{}{}
-	}
-	for id := range b.pending {
-		exclude[id] = struct{}{}
-	}
-	if !nn.cfg.SiteAware {
-		return nn.chooseTargets(-1, b.Size, n, exclude)
-	}
-	if n <= 0 {
-		return nil
-	}
-	cands := nn.gatherCandidates(b.Size, exclude)
-	if len(cands) == 0 {
-		return nil
-	}
-	// Candidate pool as in chooseTargets, but seeded with the existing
-	// replicas' site counts.
-	for s := range nn.siteCounts {
-		nn.siteCounts[s] = 0
-	}
-	for id := range b.replicas {
-		if d, ok := nn.datanodes[id]; ok {
-			nn.siteCounts[d.siteIx]++
-		}
-	}
-	for id := range b.pending {
-		if d, ok := nn.datanodes[id]; ok {
-			nn.siteCounts[d.siteIx]++
-		}
-	}
-	return nn.spreadAcrossSites(cands, -1, n, nil)
+	return nn.place.ReplicationTargets(nn, b, n)
 }
 
 // SitesOf returns the distinct awareness sites currently hosting replicas of

@@ -55,6 +55,23 @@ func (q *blockRing) resize(size int) {
 	q.buf, q.head = buf, 0
 }
 
+// at returns the i-th queued block (0 is the head) without removing it.
+func (q *blockRing) at(i int) BlockID { return q.buf[(q.head+i)%len(q.buf)] }
+
+// removeAt removes and returns the i-th queued block, shifting later entries
+// forward — O(n-i), used by non-FIFO replication orders; removeAt(0) is pop.
+func (q *blockRing) removeAt(i int) BlockID {
+	bid := q.at(i)
+	for ; i < q.n-1; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = q.buf[(q.head+i+1)%len(q.buf)]
+	}
+	q.n--
+	if len(q.buf) > 64 && q.n <= len(q.buf)/4 {
+		q.resize(len(q.buf) / 2)
+	}
+	return bid
+}
+
 // queueReplication marks a block under-replicated. Duplicate enqueues are
 // coalesced.
 func (nn *Namenode) queueReplication(bid BlockID) {
@@ -79,8 +96,13 @@ func (nn *Namenode) pumpReplication() {
 		// and the safe-mode exit sweep rebuilds it from the reported state.
 		return
 	}
-	for nn.replStreams < nn.cfg.MaxReplicationStreams && nn.replQueue.len() > 0 {
-		bid := nn.replQueue.pop()
+	for nn.replStreams < nn.cfg.MaxReplicationStreams {
+		// The active replication order (policy.go) picks which queued block
+		// recovers next; the default "fifo" order pops the ring head.
+		bid, ok := nn.replOrder.Next(nn)
+		if !ok {
+			break
+		}
 		delete(nn.replQueued, bid)
 		b := nn.blocks[bid]
 		if b == nil {

@@ -82,6 +82,18 @@ type JobTracker struct {
 	// the senders back off and retry (see the master backoff in internal/core).
 	down bool
 
+	// sched and spec are the active scheduling and speculation policies
+	// (policy.go), resolved by name from the configuration.
+	sched SchedulerPolicy
+	spec  SpeculationPolicy
+	// poolRunning counts live attempts per fair-share pool and siteLoads
+	// tracks per-site slot occupancy for the site-load speculation policy;
+	// both are maintained on launch/detach regardless of the active policy,
+	// so switching policies never changes the bookkeeping the equivalence
+	// tests fingerprint.
+	poolRunning map[string]int
+	siteLoads   map[string]*siteLoad
+
 	// activeList holds unfinished jobs in submission order; the indexed
 	// assignment path iterates it instead of re-skipping finished jobs.
 	activeList []*Job
@@ -118,13 +130,22 @@ type JobTracker struct {
 // add/remove and node death.
 func NewJobTracker(eng *sim.Engine, net *netmodel.Network, nn *hdfs.Namenode, dt *disk.Tracker, cfg Config) *JobTracker {
 	jt := &JobTracker{
-		eng:       eng,
-		net:       net,
-		nn:        nn,
-		disk:      dt,
-		cfg:       cfg.withDefaults(),
-		trackers:  make(map[netmodel.NodeID]*TaskTracker),
-		blockMaps: make(map[hdfs.BlockID][]*mapTask),
+		eng:         eng,
+		net:         net,
+		nn:          nn,
+		disk:        dt,
+		cfg:         cfg.withDefaults(),
+		trackers:    make(map[netmodel.NodeID]*TaskTracker),
+		blockMaps:   make(map[hdfs.BlockID][]*mapTask),
+		poolRunning: make(map[string]int),
+		siteLoads:   make(map[string]*siteLoad),
+	}
+	var err error
+	if jt.sched, err = NewSchedulerPolicy(jt.cfg.SchedulerPolicy); err != nil {
+		panic(err)
+	}
+	if jt.spec, err = NewSpeculationPolicy(jt.cfg.SpeculationPolicy); err != nil {
+		panic(err)
 	}
 	if nn != nil {
 		prev := nn.OnPlacementChange
@@ -173,6 +194,12 @@ func (jt *JobTracker) RegisterTracker(node netmodel.NodeID, hostname, site strin
 		attempts:      make(map[*attempt]struct{}),
 	}
 	jt.trackers[node] = t
+	sl := jt.siteLoads[site]
+	if sl == nil {
+		sl = &siteLoad{}
+		jt.siteLoads[site] = sl
+	}
+	sl.slots += mapSlots + reduceSlots
 	// Trackers register with ascending node IDs in practice; the insertion
 	// walk keeps trackerOrder correct if they ever do not.
 	jt.trackerOrder = append(jt.trackerOrder, t)
@@ -226,6 +253,7 @@ func (jt *JobTracker) Submit(cfg JobConfig) *Job {
 		Config:        cfg,
 		State:         JobPending,
 		SubmitTime:    jt.eng.Now(),
+		pool:          cfg.pool(),
 		skipSince:     -1,
 		specMapMin:    specMinInvalid,
 		specReduceMin: specMinInvalid,
@@ -333,6 +361,9 @@ func (jt *JobTracker) markDead(t *TaskTracker) {
 		return
 	}
 	t.Alive = false
+	if sl := jt.siteLoads[t.Site]; sl != nil {
+		sl.slots -= t.MapSlots + t.ReduceSlots
+	}
 	// Fail running attempts.
 	var atts []*attempt
 	for a := range t.attempts {
@@ -580,7 +611,7 @@ func (jt *JobTracker) speculativeMap(j *Job, t *TaskTracker) *mapTask {
 		if jt.cfg.EagerRedundancy {
 			return m
 		}
-		if jt.isStraggler(j, jobKindMap, m.oldestRunningStart()) {
+		if jt.spec.IsStraggler(jt, j, KindMap, t, m.oldestRunningStart()) {
 			return m
 		}
 	}
@@ -634,61 +665,11 @@ func (jt *JobTracker) speculativeReduce(j *Job, t *TaskTracker) *reduceTask {
 		if jt.cfg.EagerRedundancy {
 			return r
 		}
-		if jt.isStraggler(j, jobKindReduce, r.oldestRunningStart()) {
+		if jt.spec.IsStraggler(jt, j, KindReduce, t, r.oldestRunningStart()) {
 			return r
 		}
 	}
 	return nil
-}
-
-type jobKind int
-
-const (
-	jobKindMap jobKind = iota
-	jobKindReduce
-)
-
-// isStraggler applies the paper's criterion: elapsed > slowdown * average
-// completed duration for the kind, with a minimum runtime guard. The
-// indexed scheduler reads the job's maintained duration aggregates; the
-// scan baseline re-sums every completed task, as it always did. Both are
-// exact integer sums, so the two paths agree bit-for-bit.
-func (jt *JobTracker) isStraggler(j *Job, kind jobKind, started sim.Time) bool {
-	if started < 0 {
-		return false
-	}
-	elapsed := jt.eng.Now() - started
-	if elapsed < jt.cfg.SpeculativeMinRuntime {
-		return false
-	}
-	var sum sim.Time
-	var n int
-	if jt.indexed() {
-		if kind == jobKindMap {
-			sum, n = j.doneMapDur, j.doneMapN
-		} else {
-			sum, n = j.doneReduceDur, j.doneReduceN
-		}
-	} else if kind == jobKindMap {
-		for _, m := range j.maps {
-			if m.done {
-				sum += m.duration
-				n++
-			}
-		}
-	} else {
-		for _, r := range j.reduces {
-			if r.done {
-				sum += r.duration
-				n++
-			}
-		}
-	}
-	if n == 0 {
-		return false
-	}
-	avg := sum / sim.Time(n)
-	return float64(elapsed) > jt.cfg.SpeculativeSlowdown*float64(avg)
 }
 
 func (jt *JobTracker) diskBroken(n netmodel.NodeID) bool {

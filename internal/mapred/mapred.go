@@ -16,6 +16,7 @@ package mapred
 
 import (
 	"fmt"
+	"reflect"
 
 	"hog/internal/netmodel"
 	"hog/internal/sim"
@@ -73,6 +74,18 @@ type JobConfig struct {
 	OutputReplication int
 	// Bin tags the job with its workload bin (reporting only).
 	Bin int
+	// Pool names the fair-share pool the job is scheduled under (the "fair"
+	// scheduler policy; see Config.Pools). Empty derives the pool from the
+	// workload bin, so multi-bin workloads are multi-tenant by default.
+	Pool string
+}
+
+// pool returns the effective fair-share pool name.
+func (c JobConfig) pool() string {
+	if c.Pool != "" {
+		return c.Pool
+	}
+	return fmt.Sprintf("bin%d", c.Bin)
 }
 
 func (c JobConfig) withDefaults() JobConfig {
@@ -148,6 +161,32 @@ type Config struct {
 	// times); the scan path exists as the equivalence baseline, mirroring
 	// netmodel's Config.GlobalRebalance.
 	ScanScheduler bool
+	// SchedulerPolicy names the job-ordering policy (policy.go registry);
+	// empty selects "fifo", the paper's choice. Non-default policies
+	// require the indexed scheduler (core/validate.go rejects the
+	// combination with ScanScheduler).
+	SchedulerPolicy string
+	// SpeculationPolicy names the straggler criterion; empty selects
+	// "threshold", the paper's slowdown rule.
+	SpeculationPolicy string
+	// Pools configures fair-share pools by name for the "fair" scheduler
+	// policy. Pools absent from the map get weight 1 and no cap; the map
+	// may be nil.
+	Pools map[string]PoolConfig
+}
+
+// IsZero reports whether the config is entirely unset — the zero-value probe
+// builders use before substituting DefaultConfig. Reflection because the
+// Pools map makes Config non-comparable with ==.
+func (c Config) IsZero() bool { return reflect.DeepEqual(c, Config{}) }
+
+// PoolConfig parameterises one fair-share pool.
+type PoolConfig struct {
+	// Weight is the pool's share (default 1): slots go to the pool with the
+	// lowest running-tasks-per-weight first.
+	Weight float64
+	// MaxRunning caps the pool's concurrently running tasks; 0 is uncapped.
+	MaxRunning int
 }
 
 // DefaultConfig returns stock-Hadoop-like values with HOG's 30 s timeout left
@@ -274,6 +313,10 @@ type Job struct {
 	blacklist      map[netmodel.NodeID]int
 	blacklistedSet map[netmodel.NodeID]bool
 
+	// pool is the job's fair-share pool, cached at submit (JobConfig.Pool
+	// or the workload bin).
+	pool string
+
 	// skipSince tracks how long the job has been declining non-local map
 	// slots under delay scheduling; -1 when not waiting.
 	skipSince sim.Time
@@ -302,6 +345,13 @@ type Job struct {
 
 // specMinInvalid marks a stale specMapMin/specReduceMin cache.
 const specMinInvalid = sim.Time(-2)
+
+// CompletedWork returns the summed durations of the job's completed map and
+// reduce executions — the task-seconds of useful work, used by the harness's
+// slot-utilisation metric. Re-executed maps (lost to node death after
+// completing) are not counted twice: their first execution is subtracted
+// when invalidated.
+func (j *Job) CompletedWork() sim.Time { return j.doneMapDur + j.doneReduceDur }
 
 // blacklisted reports whether the job refuses assignments on the node. The
 // empty-set guard keeps the common case — no blacklist at all — free of a

@@ -377,13 +377,14 @@ func TestStragglerCriterion(t *testing.T) {
 	}
 	c.eng.RunUntil(100 * sim.Second)
 	now := c.eng.Now()
-	if !c.jt.isStraggler(j, jobKindMap, now-60*sim.Second) {
+	tr := c.jt.Tracker(c.nodes[0])
+	if !c.jt.spec.IsStraggler(c.jt, j, KindMap, tr, now-60*sim.Second) {
 		t.Fatal("60s-old task not flagged with 10s average")
 	}
-	if c.jt.isStraggler(j, jobKindMap, now-5*sim.Second) {
+	if c.jt.spec.IsStraggler(c.jt, j, KindMap, tr, now-5*sim.Second) {
 		t.Fatal("5s-old task flagged despite min runtime guard")
 	}
-	if c.jt.isStraggler(j, jobKindMap, -1) {
+	if c.jt.spec.IsStraggler(c.jt, j, KindMap, tr, -1) {
 		t.Fatal("idle task flagged")
 	}
 }

@@ -37,6 +37,13 @@ func schedFingerprint(c *cluster) []string {
 // either scheduler path and returns the fingerprint. The schedule is drawn
 // from a private RNG so both paths see identical inputs.
 func runSchedChurn(seed int64, scan bool, profile string) []string {
+	return runSchedChurnWith(seed, scan, profile, nil)
+}
+
+// runSchedChurnWith additionally applies mod to the JobTracker config after
+// the profile knobs — the hook the policy equivalence tests use to pin
+// explicit policy names against the defaults on identical inputs.
+func runSchedChurnWith(seed int64, scan bool, profile string, mod func(*Config)) []string {
 	nn := hogNNCfg()
 	jt := hogJTCfg()
 	jt.ScanScheduler = scan
@@ -56,6 +63,9 @@ func runSchedChurn(seed int64, scan bool, profile string) []string {
 		nn.Replication = 2
 		jt.LocalityWait = 30 * sim.Second
 		jt.SpeculativeMinRuntime = 20 * sim.Second
+	}
+	if mod != nil {
+		mod(&jt)
 	}
 	c := newCluster(seed, 6, nn, jt) // 30 nodes over 5 sites
 	r := rand.New(rand.NewSource(seed * 7919))

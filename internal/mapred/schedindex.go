@@ -327,7 +327,7 @@ func (jt *JobTracker) pickMapIndexed(j *Job, t *TaskTracker) (*mapTask, Locality
 }
 
 func (jt *JobTracker) assignOneMapIndexed(t *TaskTracker) bool {
-	for _, j := range jt.activeList {
+	for _, j := range jt.sched.JobOrder(jt, t) {
 		if j.blacklisted(t.Node) {
 			continue
 		}
@@ -373,9 +373,9 @@ func (jt *JobTracker) speculativeMapIndexed(j *Job, t *TaskTracker) *mapTask {
 	}
 	if !jt.cfg.EagerRedundancy {
 		if j.specMapMin == specMinInvalid {
-			j.specMapMin = jt.oldestRunningOfKind(j, jobKindMap)
+			j.specMapMin = jt.oldestRunningOfKind(j, KindMap)
 		}
-		if !jt.isStraggler(j, jobKindMap, j.specMapMin) {
+		if !jt.spec.IsStraggler(jt, j, KindMap, t, j.specMapMin) {
 			return nil
 		}
 	}
@@ -393,7 +393,7 @@ func (jt *JobTracker) speculativeMapIndexed(j *Job, t *TaskTracker) *mapTask {
 		if jt.cfg.EagerRedundancy {
 			return m
 		}
-		if jt.isStraggler(j, jobKindMap, m.oldestRunningStart()) {
+		if jt.spec.IsStraggler(jt, j, KindMap, t, m.oldestRunningStart()) {
 			return m
 		}
 	}
@@ -402,9 +402,9 @@ func (jt *JobTracker) speculativeMapIndexed(j *Job, t *TaskTracker) *mapTask {
 
 // oldestRunningOfKind recomputes a job's minimum running start for the
 // speculation gate; runs once per invalidation, not per probe.
-func (jt *JobTracker) oldestRunningOfKind(j *Job, kind jobKind) sim.Time {
+func (jt *JobTracker) oldestRunningOfKind(j *Job, kind TaskKind) sim.Time {
 	oldest := sim.Time(-1)
-	if kind == jobKindMap {
+	if kind == KindMap {
 		for _, i := range j.idx.runningMaps.v {
 			if s := j.maps[i].oldestRunningStart(); s >= 0 && (oldest < 0 || s < oldest) {
 				oldest = s
@@ -421,7 +421,7 @@ func (jt *JobTracker) oldestRunningOfKind(j *Job, kind jobKind) sim.Time {
 }
 
 func (jt *JobTracker) assignOneReduceIndexed(t *TaskTracker) bool {
-	for _, j := range jt.activeList {
+	for _, j := range jt.sched.JobOrder(jt, t) {
 		if j.blacklisted(t.Node) {
 			continue
 		}
@@ -456,9 +456,9 @@ func (jt *JobTracker) speculativeReduceIndexed(j *Job, t *TaskTracker) *reduceTa
 	}
 	if !jt.cfg.EagerRedundancy {
 		if j.specReduceMin == specMinInvalid {
-			j.specReduceMin = jt.oldestRunningOfKind(j, jobKindReduce)
+			j.specReduceMin = jt.oldestRunningOfKind(j, KindReduce)
 		}
-		if !jt.isStraggler(j, jobKindReduce, j.specReduceMin) {
+		if !jt.spec.IsStraggler(jt, j, KindReduce, t, j.specReduceMin) {
 			return nil
 		}
 	}
@@ -476,7 +476,7 @@ func (jt *JobTracker) speculativeReduceIndexed(j *Job, t *TaskTracker) *reduceTa
 		if jt.cfg.EagerRedundancy {
 			return r
 		}
-		if jt.isStraggler(j, jobKindReduce, r.oldestRunningStart()) {
+		if jt.spec.IsStraggler(jt, j, KindReduce, t, r.oldestRunningStart()) {
 			return r
 		}
 	}

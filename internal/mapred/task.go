@@ -211,6 +211,10 @@ func (a *attempt) detach() {
 		} else {
 			a.tracker.runningReduces--
 		}
+		a.jt.poolRunning[a.job.pool]--
+		if sl := a.jt.siteLoads[a.tracker.Site]; sl != nil {
+			sl.running--
+		}
 	}
 }
 
@@ -304,6 +308,7 @@ func (jt *JobTracker) launchMap(j *Job, m *mapTask, t *TaskTracker, lvl Locality
 	m.attempts = append(m.attempts, a)
 	t.attempts[a] = struct{}{}
 	t.runningMaps++
+	jt.noteLaunched(j, t)
 	jt.noteMapTask(m)
 	j.counters.MapAttemptsStarted++
 	j.counters.Locality[lvl]++
@@ -518,6 +523,7 @@ func (jt *JobTracker) launchReduce(j *Job, r *reduceTask, t *TaskTracker, spec b
 	r.attempts = append(r.attempts, a)
 	t.attempts[a] = struct{}{}
 	t.runningReduces++
+	jt.noteLaunched(j, t)
 	jt.noteReduceTask(r)
 	j.counters.ReduceAttemptsStarted++
 	if spec {

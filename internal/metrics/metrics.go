@@ -146,10 +146,10 @@ func (s *Series) ASCIIPlot(width, height int, t0, t1 sim.Time) string {
 
 // Summary holds order statistics of a sample of durations.
 type Summary struct {
-	N             int
-	Mean, Std     sim.Time
-	Min, Max      sim.Time
-	P50, P90, P99 sim.Time
+	N                  int
+	Mean, Std          sim.Time
+	Min, Max           sim.Time
+	P50, P90, P95, P99 sim.Time
 }
 
 // Summarize computes order statistics; an empty input yields a zero Summary.
@@ -183,6 +183,7 @@ func Summarize(xs []sim.Time) Summary {
 		Max:  ys[len(ys)-1],
 		P50:  q(0.50),
 		P90:  q(0.90),
+		P95:  q(0.95),
 		P99:  q(0.99),
 	}
 }

@@ -185,7 +185,7 @@ func WithStaticGroups(groups ...StaticGroup) Option {
 		if b.cfg.HDFS == (HDFSConfig{}) {
 			b.cfg.HDFS = hdfs.DefaultConfig()
 		}
-		if b.cfg.MapRed == (MapRedConfig{}) {
+		if b.cfg.MapRed.IsZero() {
 			b.cfg.MapRed = mapred.DefaultConfig()
 		}
 		b.supply = true
@@ -253,6 +253,42 @@ func WithSequentialEngine() Option {
 // ZombieUnfixed, or ZombieDiskCheck.
 func WithZombies(mode ZombieMode) Option {
 	return func(b *builder) { b.later(func(b *builder) { b.cfg.Zombie = mode }) }
+}
+
+// WithSchedulerPolicy selects the job-ordering policy by registry name
+// ("fifo", "fair"). The empty string keeps the default ("fifo", the paper's
+// choice); unknown names and invalid combinations (a non-default policy with
+// the scan scheduler) are rejected at New time.
+func WithSchedulerPolicy(name string) Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.Policies.Scheduler = name }) }
+}
+
+// WithSpeculationPolicy selects the straggler criterion by registry name
+// ("threshold", "site-load"). The empty string keeps the default
+// ("threshold", the paper's slowdown rule).
+func WithSpeculationPolicy(name string) Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.Policies.Speculation = name }) }
+}
+
+// WithPlacementPolicy selects the block-placement policy by registry name
+// ("grid", "random"). The empty string keeps the default ("grid", the
+// paper's site-aware spread).
+func WithPlacementPolicy(name string) Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.Policies.Placement = name }) }
+}
+
+// WithReplicationOrder selects the block-recovery ordering by registry name
+// ("fifo", "rarest"). The empty string keeps the default ("fifo", recovery
+// in loss order).
+func WithReplicationOrder(name string) Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.Policies.Replication = name }) }
+}
+
+// WithPools configures fair-share pools for the "fair" scheduler policy.
+// Jobs name their pool through JobConfig.Pool (defaulting to their workload
+// bin); pools absent from the map get weight 1 and no running cap.
+func WithPools(pools map[string]FairPoolConfig) Option {
+	return func(b *builder) { b.later(func(b *builder) { b.cfg.MapRed.Pools = pools }) }
 }
 
 // WithHDFS overrides namenode parameters in place:
