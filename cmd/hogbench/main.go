@@ -68,6 +68,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"events":    experiments.PrintEventCounts,
 	"chaos":     experiments.PrintChaos,
 	"policy":    experiments.PrintPolicy,
+	"whatif":    experiments.PrintWhatIf,
 }
 
 // runners derives the text-path registry from the harness spec registry,

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hog/internal/core"
+	"hog/internal/grid"
+	"hog/internal/sim"
+	"hog/internal/snapshot"
+	"hog/internal/workload"
+)
+
+// testServer warms a small pool 10 minutes into a reduced workload.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	cfg := core.HOGConfig(60, grid.ChurnStable, 7)
+	sched := workload.Generate(7, workload.Config{Scale: 0.05})
+	srv, err := newServer(cfg, sched, 10*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestServeStateAndSnapshot(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state stateReply
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if state.Phase != "started" {
+		t.Fatalf("phase = %q, want started", state.Phase)
+	}
+	if state.NowS < 600 {
+		t.Fatalf("now = %.0f s, want >= warm-up 600 s", state.NowS)
+	}
+	if state.Census.Grid == nil || state.Census.Grid.Alive == 0 {
+		t.Fatalf("census reports no live nodes: %+v", state.Census.Grid)
+	}
+
+	// The downloaded snapshot must restore into the same census.
+	resp, err = http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /snapshot = %d: %s", resp.StatusCode, data)
+	}
+	restored, err := snapshot.Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Eng.Now().Seconds(); got != state.NowS {
+		t.Fatalf("restored clock %.6f s, served clock %.6f s", got, state.NowS)
+	}
+}
+
+func TestServeForkDeterministicBranches(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	outage := core.ScenarioSpec{
+		Name: "outage",
+		Steps: []core.StepSpec{
+			{Verb: "site-outage", At: 30 * sim.Second, Site: "UCSDT2", Frac: 0.9},
+		},
+	}
+	body, _ := json.Marshal(forkRequest{Branches: []forkBranch{
+		{Name: "baseline"},
+		{Name: "outage", Divergence: &outage},
+	}})
+
+	fork := func() []forkReply {
+		resp, err := http.Post(ts.URL+"/fork", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST /fork = %d: %s", resp.StatusCode, msg)
+		}
+		var reply struct {
+			Branches []forkReply `json:"branches"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Branches
+	}
+
+	first, second := fork(), fork()
+	if len(first) != 2 {
+		t.Fatalf("got %d branches, want 2", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("branch %q not deterministic across forks:\n%+v\n%+v",
+				first[i].Name, first[i], second[i])
+		}
+	}
+	if first[0].Fingerprint == first[1].Fingerprint {
+		t.Fatalf("baseline and outage branches have identical event fingerprints %#x", first[0].Fingerprint)
+	}
+
+	// Forking must not disturb the served system.
+	resp, err := http.Get(ts.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state stateReply
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if state.Phase != "started" {
+		t.Fatalf("after forks the served system is %q, want started", state.Phase)
+	}
+}
+
+func TestServeForkRejectsBadScenario(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	bad := core.ScenarioSpec{Name: "bad", Steps: []core.StepSpec{{Verb: "no-such-verb"}}}
+	body, _ := json.Marshal(forkRequest{Branches: []forkBranch{{Name: "bad", Divergence: &bad}}})
+	resp, err := http.Post(ts.URL+"/fork", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /fork with unknown verb = %d (%s), want 400", resp.StatusCode, msg)
+	}
+}
+
+func TestServeEventsReplay(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// The warm-up ring replays immediately; read a few frames and check the
+	// SSE shape without waiting for live traffic.
+	sc := bufio.NewScanner(resp.Body)
+	var events, data int
+	for sc.Scan() && data < 5 {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			events++
+		case strings.HasPrefix(line, "data: "):
+			data++
+			var e sseEvent
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			if e.Type == "" {
+				t.Fatalf("SSE event with empty type: %q", line)
+			}
+		}
+	}
+	if events < 5 || data < 5 {
+		t.Fatalf("replayed %d event lines / %d data lines, want >= 5 of each", events, data)
+	}
+}

@@ -179,3 +179,66 @@ func TestDurationHelpers(t *testing.T) {
 		t.Fatal("duration helpers inconsistent")
 	}
 }
+
+// TestFacadeSnapshotRestoreFork exercises the snapshot surface end to end
+// through the facade: a mid-run snapshot restores into a byte-identical
+// continuation, a control fork matches the uninterrupted run, and a diverged
+// branch refuses to be snapshotted again.
+func TestFacadeSnapshotRestoreFork(t *testing.T) {
+	sys, err := New(WithHOGPool(30, ChurnStable), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartWorkload(GenerateWorkload(5, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunTo(sys.RunStart() + Minutes(10)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Snapshot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := sys.FinishWorkload()
+
+	restored, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := restored.FinishWorkload()
+	if res.ResponseTime != straight.ResponseTime || res.JobsFailed != straight.JobsFailed ||
+		len(res.JobResponses) != len(straight.JobResponses) {
+		t.Fatalf("restored run diverged: %v/%d/%d vs %v/%d/%d",
+			res.ResponseTime, res.JobsFailed, len(res.JobResponses),
+			straight.ResponseTime, straight.JobsFailed, len(straight.JobResponses))
+	}
+
+	branches, err := Fork(data, []*Scenario{
+		nil,
+		NewScenario("fork outage").SiteOutageAt(Seconds(30), "UCSDT2", 1.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := branches[0].FinishWorkload()
+	if control.ResponseTime != straight.ResponseTime {
+		t.Fatalf("control branch diverged from the uninterrupted run: %v vs %v",
+			control.ResponseTime, straight.ResponseTime)
+	}
+	branches[1].FinishWorkload()
+	if _, err := Snapshot(branches[1]); err == nil {
+		t.Fatal("snapshotting a diverged, finished branch should fail")
+	}
+
+	// Scenario specs round-trip through the facade too.
+	spec, err := NewScenario("drill").SiteOutageAt(Minutes(1), "UCSDT2", 0.5).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioFromSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if SnapshotVersion < 1 {
+		t.Fatalf("SnapshotVersion = %d", SnapshotVersion)
+	}
+}

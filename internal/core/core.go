@@ -129,6 +129,11 @@ type Config struct {
 	// engine is pinned against; results are bit-identical either way.
 	SequentialEngine bool
 
+	// Shards fixes the sharded engine's worker count (0 = one per CPU, the
+	// default). Results are bit-identical at every shard count; the knob
+	// exists so equivalence tests can pin specific counts.
+	Shards int
+
 	// Zombie selects preemption daemon behaviour (grid systems only).
 	Zombie ZombieMode
 	// DiskCheckInterval is the zombie self-check period (ZombieDiskCheck).
@@ -328,6 +333,18 @@ type System struct {
 	// conflicting action on the same target at the same instant.
 	timedKeys map[string]string
 
+	// Run-phase state for the snapshot subsystem: where the system is in its
+	// lifecycle, and the schedule/anchor the in-flight run was started with
+	// (valid once phase reaches PhaseStarted).
+	phase    RunPhase
+	runStart sim.Time
+	runSched *workload.Schedule
+	// diverged marks a system that had a divergence scenario armed after the
+	// workload started (a what-if fork branch). Such a system can no longer
+	// be snapshotted: its event history is not reproducible from config +
+	// applied scenarios alone.
+	diverged bool
+
 	// Reported tracks the node count the masters believe alive; it can
 	// exceed the target momentarily because departed nodes linger until
 	// their heartbeat timeout (paper §IV.B).
@@ -406,6 +423,7 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 			Seed:             cfg.Seed,
 			HeapScheduler:    cfg.HeapScheduler,
 			SequentialEngine: cfg.SequentialEngine,
+			Shards:           cfg.Shards,
 			Lookahead:        wan + hb0,
 		}),
 		cfg:      cfg,
@@ -761,23 +779,113 @@ type Result struct {
 // Summary returns response-time order statistics over jobs.
 func (r *Result) Summary() metrics.Summary { return metrics.Summarize(r.JobResponses) }
 
-// RunWorkload provisions (if needed), stages the schedule's input files,
-// submits jobs on schedule, and runs to completion. It mirrors the paper's
-// procedure: "we first configure a given number of nodes that HOG will
-// achieve and wait until HOG reaches this number. Then, we start to upload
-// input data and execute the evaluation workload."
-func (s *System) RunWorkload(sched *workload.Schedule) *Result {
+// RunPhase identifies where a system is in its workload lifecycle. The
+// snapshot subsystem uses it to decide what a snapshot must capture and
+// which systems can be captured at all.
+type RunPhase int
+
+// Lifecycle phases.
+const (
+	// PhaseBuilt: constructed, workload not started.
+	PhaseBuilt RunPhase = iota
+	// PhaseStarted: StartWorkload has run; the schedule is in flight.
+	PhaseStarted
+	// PhaseFinished: FinishWorkload has assembled the Result.
+	PhaseFinished
+)
+
+// String names the phase.
+func (p RunPhase) String() string {
+	switch p {
+	case PhaseBuilt:
+		return "built"
+	case PhaseStarted:
+		return "started"
+	case PhaseFinished:
+		return "finished"
+	}
+	return "unknown"
+}
+
+// Phase returns the system's current lifecycle phase.
+func (s *System) Phase() RunPhase { return s.phase }
+
+// Diverged reports whether a divergence scenario was armed after the
+// workload started (ApplyDivergence); such a system cannot be snapshotted.
+func (s *System) Diverged() bool { return s.diverged }
+
+// Config returns the system's normalized configuration — the input Config
+// with defaults filled in, exactly as a snapshot must record it to rebuild
+// an identical system.
+func (s *System) Config() Config { return s.cfg }
+
+// RunStart returns the workload anchor instant (valid once the phase is
+// PhaseStarted): provisioning is complete and the first submission timer is
+// scheduled relative to it.
+func (s *System) RunStart() sim.Time { return s.runStart }
+
+// RunSchedule returns the schedule the in-flight run was started with, or
+// nil before StartWorkload.
+func (s *System) RunSchedule() *workload.Schedule { return s.runSched }
+
+// ScenarioSpecs returns the serializable form of every applied scenario, in
+// application order. It fails if any applied scenario contains a When step,
+// whose closures cannot be serialized.
+func (s *System) ScenarioSpecs() ([]ScenarioSpec, error) {
+	var out []ScenarioSpec
+	for _, sc := range s.scenarios {
+		spec, err := sc.Spec()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// RNGStream describes one named simulator random stream: its seed and how
+// many values it has drawn (the stream's position).
+type RNGStream struct {
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// RNGStreams enumerates every random stream that can influence the
+// simulation. There is exactly one: the engine's seeded stream, which all
+// model layers draw through (Eng.Rand()). Workload generation
+// (internal/workload) and chaos-schedule generation (experiments) seed their
+// own rand instances, but those run before the simulation and their output
+// rides in snapshots as data — they are generators, not simulator streams.
+// Snapshot equivalence tests assert the replayed draw count matches the
+// recorded one, which catches any code path growing a hidden rand source.
+func (s *System) RNGStreams() []RNGStream {
+	return []RNGStream{{Name: "engine", Seed: s.Eng.Seed(), Draws: s.Eng.RandDraws()}}
+}
+
+// StartWorkload provisions (if needed), stages the schedule's input files,
+// and schedules the job submissions, leaving the run in flight. It is the
+// first half of RunWorkload; drive the run forward with RunTo and assemble
+// the Result with FinishWorkload. A workload can be started once.
+func (s *System) StartWorkload(sched *workload.Schedule) error {
+	if s.phase != PhaseBuilt {
+		return fmt.Errorf("core: StartWorkload on a %v system", s.phase)
+	}
+	s.startWorkload(sched)
+	return nil
+}
+
+func (s *System) startWorkload(sched *workload.Schedule) {
 	s.AwaitNodes()
 	s.armScenarios()
 	for _, js := range sched.Jobs {
 		s.NN.SeedFile("/in/"+js.Name, js.InputBytes, 0)
 	}
 	start := s.Eng.Now()
-	jobs := make([]*mapred.Job, len(sched.Jobs))
-	for i, js := range sched.Jobs {
-		i, js := i, js
+	for _, js := range sched.Jobs {
+		js := js
 		s.Eng.Schedule(start+js.Submit, func() {
-			jobs[i] = s.JT.Submit(mapred.JobConfig{
+			s.JT.Submit(mapred.JobConfig{
 				Name:              js.Name,
 				InputFile:         "/in/" + js.Name,
 				Reduces:           js.Reduces,
@@ -790,14 +898,51 @@ func (s *System) RunWorkload(sched *workload.Schedule) *Result {
 			})
 		})
 	}
+	s.phase = PhaseStarted
+	s.runStart = start
+	s.runSched = sched
+}
+
+// runCond returns the workload-completion predicate: keep running until the
+// submission window has passed and every job is done, or the run bound is
+// hit. The predicate is a pure read and monotone in simulated time, so it
+// can be re-created at any point of the run (RunTo, FinishWorkload) without
+// changing which events fire.
+func (s *System) runCond() func() bool {
+	start := s.runStart
+	span := s.runSched.Span()
 	bound := start + s.cfg.RunBound
 	submitted := false
-	s.Eng.RunWhile(func() bool {
+	return func() bool {
 		if !submitted {
-			submitted = s.Eng.Now() > start+sched.Span()
+			submitted = s.Eng.Now() > start+span
 		}
 		return !(submitted && s.JT.AllDone()) && s.Eng.Now() < bound
-	})
+	}
+}
+
+// RunTo advances an in-flight run up to instant t: events at or before t
+// fire exactly as an uninterrupted run would fire them, and the clock never
+// advances past the last fired event (so a later RunTo or FinishWorkload
+// continues seamlessly). Stops early if the workload completes first.
+func (s *System) RunTo(t sim.Time) error {
+	if s.phase != PhaseStarted {
+		return fmt.Errorf("core: RunTo on a %v system", s.phase)
+	}
+	s.Eng.RunUntilWhile(t, s.runCond())
+	return nil
+}
+
+// FinishWorkload runs an in-flight workload to completion and assembles the
+// Result. StartWorkload + FinishWorkload is exactly RunWorkload; any number
+// of RunTo calls may sit between them without changing the outcome.
+func (s *System) FinishWorkload() *Result {
+	if s.phase != PhaseStarted {
+		panic(fmt.Sprintf("core: FinishWorkload on a %v system", s.phase))
+	}
+	s.Eng.RunWhile(s.runCond())
+	s.phase = PhaseFinished
+	start := s.runStart
 	end := s.Eng.Now()
 
 	res := &Result{
@@ -834,4 +979,14 @@ func (s *System) RunWorkload(sched *workload.Schedule) *Result {
 		res.TaskSeconds += j.CompletedWork().Seconds()
 	}
 	return res
+}
+
+// RunWorkload provisions (if needed), stages the schedule's input files,
+// submits jobs on schedule, and runs to completion. It mirrors the paper's
+// procedure: "we first configure a given number of nodes that HOG will
+// achieve and wait until HOG reaches this number. Then, we start to upload
+// input data and execute the evaluation workload."
+func (s *System) RunWorkload(sched *workload.Schedule) *Result {
+	s.startWorkload(sched)
+	return s.FinishWorkload()
 }

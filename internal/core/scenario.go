@@ -43,6 +43,94 @@ type scenarioStep struct {
 	check func(*System) error // static validation against the target system
 	cond  func(*System) bool  // conditional steps only
 	run   func(*System)
+	spec  *StepSpec // serializable form; nil for When's arbitrary closures
+}
+
+// StepSpec is the serializable form of one typed scenario step. Every
+// builder verb except When records one, so an applied scenario can be
+// encoded into a snapshot and rebuilt verb-for-verb on restore
+// (ScenarioFromSpec). Fields not used by a verb are zero and omitted from
+// JSON.
+type StepSpec struct {
+	// Verb names the builder method: "site-outage", "churn-burst",
+	// "kill-fraction", "retarget-pool", "rebalance", "degrade-network",
+	// "crash-namenode", "crash-jobtracker", "restart-masters",
+	// "retarget-alive-below".
+	Verb      string   `json:"verb"`
+	At        sim.Time `json:"at,omitempty"`
+	Site      string   `json:"site,omitempty"`
+	Frac      float64  `json:"frac,omitempty"`
+	Target    int      `json:"target,omitempty"`
+	Threshold float64  `json:"threshold,omitempty"`
+	MaxMoves  int      `json:"max_moves,omitempty"`
+	Factor    float64  `json:"factor,omitempty"`
+	Below     int      `json:"below,omitempty"`
+}
+
+// ScenarioSpec is the serializable form of a whole scenario.
+type ScenarioSpec struct {
+	Name  string     `json:"name"`
+	Poll  sim.Time   `json:"poll"`
+	Steps []StepSpec `json:"steps"`
+}
+
+// Spec returns the scenario's serializable form. It fails when the scenario
+// carries build errors or contains a step the typed vocabulary cannot
+// express — a When step's arbitrary closures cannot be serialized, so a
+// scenario using When cannot ride along in a snapshot.
+func (sc *Scenario) Spec() (ScenarioSpec, error) {
+	if len(sc.errs) > 0 {
+		return ScenarioSpec{}, fmt.Errorf("core: scenario %q invalid: %w", sc.name, errors.Join(sc.errs...))
+	}
+	out := ScenarioSpec{Name: sc.name, Poll: sc.poll}
+	for _, st := range sc.steps {
+		if st.spec == nil {
+			return ScenarioSpec{}, fmt.Errorf("core: scenario %q: step %q has no serializable form (When closures cannot be snapshotted)", sc.name, st.desc)
+		}
+		out.Steps = append(out.Steps, *st.spec)
+	}
+	return out, nil
+}
+
+// ScenarioFromSpec rebuilds a scenario from its serializable form by
+// replaying the builder verbs, so a restored scenario behaves exactly like
+// the original. Unknown verbs are an error (a snapshot written by a newer
+// version, or a corrupted one).
+func ScenarioFromSpec(spec ScenarioSpec) (*Scenario, error) {
+	sc := NewScenario(spec.Name)
+	if spec.Poll > 0 {
+		sc.Poll(spec.Poll)
+	}
+	for _, st := range spec.Steps {
+		switch st.Verb {
+		case "site-outage":
+			sc.SiteOutageAt(st.At, st.Site, st.Frac)
+		case "churn-burst":
+			sc.ChurnBurst(st.At, st.Frac)
+		case "kill-fraction":
+			sc.KillFraction(st.At, st.Frac)
+		case "retarget-pool":
+			sc.RetargetPool(st.At, st.Target)
+		case "rebalance":
+			sc.RebalanceAt(st.At, st.Threshold, st.MaxMoves)
+		case "degrade-network":
+			sc.DegradeNetwork(st.At, st.Site, st.Factor)
+		case "crash-namenode":
+			sc.CrashNameNodeAt(st.At)
+		case "crash-jobtracker":
+			sc.CrashJobTrackerAt(st.At)
+		case "restart-masters":
+			sc.RestartMastersAfter(st.At)
+		case "retarget-alive-below":
+			sc.RetargetWhenAliveBelow(st.Below, st.Target)
+		default:
+			return nil, fmt.Errorf("core: scenario %q: unknown step verb %q", spec.Name, st.Verb)
+		}
+	}
+	if len(sc.errs) > 0 {
+		return nil, fmt.Errorf("core: scenario %q invalid: %w", spec.Name, errors.Join(sc.errs...))
+	}
+	return sc, nil
 }
 
 // NewScenario returns an empty scenario. The name labels validation errors.
@@ -67,17 +155,17 @@ func (sc *Scenario) Poll(interval sim.Time) *Scenario {
 	return sc
 }
 
-func (sc *Scenario) addTimed(at sim.Time, desc string, keys []string, check func(*System) error, run func(*System)) *Scenario {
+func (sc *Scenario) addTimed(at sim.Time, desc string, keys []string, check func(*System) error, run func(*System), spec *StepSpec) *Scenario {
 	if at < 0 {
 		sc.errs = append(sc.errs, fmt.Errorf("%s at negative offset %v", desc, at))
 		return sc
 	}
-	sc.steps = append(sc.steps, &scenarioStep{at: at, timed: true, desc: desc, keys: keys, check: check, run: run})
+	sc.steps = append(sc.steps, &scenarioStep{at: at, timed: true, desc: desc, keys: keys, check: check, run: run, spec: spec})
 	return sc
 }
 
-func (sc *Scenario) addCond(desc string, check func(*System) error, cond func(*System) bool, run func(*System)) *Scenario {
-	sc.steps = append(sc.steps, &scenarioStep{desc: desc, check: check, cond: cond, run: run})
+func (sc *Scenario) addCond(desc string, check func(*System) error, cond func(*System) bool, run func(*System), spec *StepSpec) *Scenario {
+	sc.steps = append(sc.steps, &scenarioStep{desc: desc, check: check, cond: cond, run: run, spec: spec})
 	return sc
 }
 
@@ -130,7 +218,7 @@ func (sc *Scenario) SiteOutageAt(at sim.Time, site string, frac float64) *Scenar
 			ev.Value = killed
 			s.bus.Emit(ev)
 		}
-	})
+	}, &StepSpec{Verb: "site-outage", At: at, Site: site, Frac: frac})
 }
 
 // ChurnBurst preempts fraction frac of the pool's workers at every site
@@ -143,7 +231,7 @@ func (sc *Scenario) ChurnBurst(at sim.Time, frac float64) *Scenario {
 	}
 	return sc.addTimed(at, desc, []string{"pool:members"}, needPool(desc), func(s *System) {
 		s.Pool.BurstPreempt(frac)
-	})
+	}, &StepSpec{Verb: "churn-burst", At: at, Frac: frac})
 }
 
 // KillFraction kills fraction frac of all alive workers at offset at, chosen
@@ -155,7 +243,7 @@ func (sc *Scenario) KillFraction(at sim.Time, frac float64) *Scenario {
 	}
 	return sc.addTimed(at, desc, []string{"pool:members"}, needPool(desc), func(s *System) {
 		s.Pool.KillFraction(frac)
-	})
+	}, &StepSpec{Verb: "kill-fraction", At: at, Frac: frac})
 }
 
 // RetargetPool changes the pool's target size at offset at (the paper's
@@ -168,7 +256,7 @@ func (sc *Scenario) RetargetPool(at sim.Time, target int) *Scenario {
 	}
 	return sc.addTimed(at, desc, []string{"pool:target"}, needPool(desc), func(s *System) {
 		s.Pool.SetTarget(target)
-	})
+	}, &StepSpec{Verb: "retarget-pool", At: at, Target: target})
 }
 
 // RebalanceAt runs one HDFS balancer round at offset at, moving replicas
@@ -182,7 +270,7 @@ func (sc *Scenario) RebalanceAt(at sim.Time, threshold float64, maxMoves int) *S
 	}
 	return sc.addTimed(at, desc, []string{"balancer"}, nil, func(s *System) {
 		s.NN.BalanceOnce(threshold, maxMoves)
-	})
+	}, &StepSpec{Verb: "rebalance", At: at, Threshold: threshold, MaxMoves: maxMoves})
 }
 
 // DegradeNetwork scales the named site's WAN uplink and downlink capacity by
@@ -208,7 +296,7 @@ func (sc *Scenario) DegradeNetwork(at sim.Time, site string, factor float64) *Sc
 		}
 		up, down := s.Net.SiteBandwidth(id)
 		s.Net.SetSiteBandwidth(id, up*factor, down*factor)
-	})
+	}, &StepSpec{Verb: "degrade-network", At: at, Site: site, Factor: factor})
 }
 
 // CrashNameNodeAt fails the namenode at offset at from workload start. Its
@@ -218,7 +306,7 @@ func (sc *Scenario) DegradeNetwork(at sim.Time, site string, factor float64) *Sc
 func (sc *Scenario) CrashNameNodeAt(at sim.Time) *Scenario {
 	return sc.addTimed(at, "crash namenode", []string{"master:nn"}, nil, func(s *System) {
 		s.CrashNameNode()
-	})
+	}, &StepSpec{Verb: "crash-namenode", At: at})
 }
 
 // CrashJobTrackerAt fails the JobTracker at offset at from workload start.
@@ -227,7 +315,7 @@ func (sc *Scenario) CrashNameNodeAt(at sim.Time) *Scenario {
 func (sc *Scenario) CrashJobTrackerAt(at sim.Time) *Scenario {
 	return sc.addTimed(at, "crash jobtracker", []string{"master:jt"}, nil, func(s *System) {
 		s.CrashJobTracker()
-	})
+	}, &StepSpec{Verb: "crash-jobtracker", At: at})
 }
 
 // RestartMastersAfter restarts whichever masters are down at offset at from
@@ -236,7 +324,7 @@ func (sc *Scenario) CrashJobTrackerAt(at sim.Time) *Scenario {
 func (sc *Scenario) RestartMastersAfter(at sim.Time) *Scenario {
 	return sc.addTimed(at, "restart masters", []string{"master:nn", "master:jt"}, nil, func(s *System) {
 		s.RestartMasters()
-	})
+	}, &StepSpec{Verb: "restart-masters", At: at})
 }
 
 // RetargetWhenAliveBelow raises the pool target to target the first time the
@@ -250,7 +338,8 @@ func (sc *Scenario) RetargetWhenAliveBelow(threshold, target int) *Scenario {
 	}
 	return sc.addCond(desc, needPool(desc),
 		func(s *System) bool { return s.Pool.AliveCount() < threshold },
-		func(s *System) { s.Pool.SetTarget(target) })
+		func(s *System) { s.Pool.SetTarget(target) },
+		&StepSpec{Verb: "retarget-alive-below", Below: threshold, Target: target})
 }
 
 // When adds a generic condition-triggered step: cond is polled on the
@@ -262,7 +351,7 @@ func (sc *Scenario) When(desc string, cond func(*System) bool, do func(*System))
 		sc.errs = append(sc.errs, fmt.Errorf("when %q: nil condition or action", desc))
 		return sc
 	}
-	return sc.addCond("when "+desc, nil, cond, do)
+	return sc.addCond("when "+desc, nil, cond, do, nil)
 }
 
 // Apply validates the scenario against this system and installs it. Every
@@ -332,35 +421,68 @@ func (s *System) armScenarios() {
 	s.scenariosArmed = true
 	start := s.Eng.Now()
 	for _, sc := range s.scenarios {
-		var conds []*scenarioStep
-		for _, st := range sc.steps {
-			if st.timed {
-				st := st
-				s.Eng.Schedule(start+st.at, func() { st.run(s) })
-			} else {
-				conds = append(conds, st)
-			}
-		}
-		if len(conds) > 0 {
-			fired := make([]bool, len(conds))
-			var tk *sim.Ticker
-			tk = s.Eng.Every(sc.poll, func() {
-				remaining := false
-				for i, st := range conds {
-					if fired[i] {
-						continue
-					}
-					if st.cond(s) {
-						fired[i] = true
-						st.run(s)
-					} else {
-						remaining = true
-					}
-				}
-				if !remaining {
-					tk.Stop()
-				}
-			})
+		s.armScenario(sc, start)
+	}
+}
+
+// armScenario schedules one scenario's steps relative to anchor.
+func (s *System) armScenario(sc *Scenario, anchor sim.Time) {
+	var conds []*scenarioStep
+	for _, st := range sc.steps {
+		if st.timed {
+			st := st
+			s.Eng.Schedule(anchor+st.at, func() { st.run(s) })
+		} else {
+			conds = append(conds, st)
 		}
 	}
+	if len(conds) > 0 {
+		fired := make([]bool, len(conds))
+		var tk *sim.Ticker
+		tk = s.Eng.Every(sc.poll, func() {
+			remaining := false
+			for i, st := range conds {
+				if fired[i] {
+					continue
+				}
+				if st.cond(s) {
+					fired[i] = true
+					st.run(s)
+				} else {
+					remaining = true
+				}
+			}
+			if !remaining {
+				tk.Stop()
+			}
+		})
+	}
+}
+
+// ApplyDivergence validates sc against this system and arms it immediately,
+// anchored at the current instant instead of the workload start — the
+// divergence half of a what-if fork: restore a snapshot, diverge, run on.
+// Only an in-flight run (phase started) can diverge, and a diverged system
+// can no longer be snapshotted (snapshot.Save rejects it): its history is
+// not reproducible from config + pre-start scenarios alone.
+func (s *System) ApplyDivergence(sc *Scenario) error {
+	if s.phase != PhaseStarted {
+		return fmt.Errorf("core: divergence %q applied to a %v system (restore a mid-run snapshot first)", sc.name, s.phase)
+	}
+	if len(sc.errs) > 0 {
+		return fmt.Errorf("core: divergence %q invalid: %w", sc.name, errors.Join(sc.errs...))
+	}
+	if len(sc.steps) == 0 {
+		return fmt.Errorf("core: divergence %q has no actions", sc.name)
+	}
+	for _, st := range sc.steps {
+		if st.check != nil {
+			if err := st.check(s); err != nil {
+				return fmt.Errorf("core: divergence %q: %w", sc.name, err)
+			}
+		}
+	}
+	s.diverged = true
+	s.armScenario(sc, s.Eng.Now())
+	return nil
 }

@@ -1,0 +1,35 @@
+package disk
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Census is a deterministic digest of scratch-disk accounting, recorded in
+// snapshots and re-checked after a deterministic replay.
+type Census struct {
+	Nodes     int     `json:"nodes"`
+	UsedTotal float64 `json:"used_total"`
+	Overflows int     `json:"overflows"`
+	Hash      uint64  `json:"hash"`
+}
+
+// Census digests the tracker's state; the hash covers every node's used
+// bytes in node-ID order.
+func (t *Tracker) Census() Census {
+	c := Census{Nodes: len(t.used), Overflows: t.overflows}
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, u := range t.used {
+		c.UsedTotal += u
+		put(math.Float64bits(u))
+	}
+	put(uint64(t.overflows))
+	c.Hash = h.Sum64()
+	return c
+}

@@ -96,6 +96,7 @@ func Specs() []Spec {
 		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
 		{"chaos", "CHAOS: randomized fault schedules with audit + determinism check", expandChaos},
 		{"policy", "POLICY: pluggable-policy ablation across the four decision points", expandPolicy},
+		{"whatif", "WHATIF: MEGA-GRID warm-up snapshot forked into fault branches", expandWhatIf},
 	}
 }
 
@@ -536,6 +537,30 @@ func expandPolicy(opts experiments.Options) []Trial {
 				})
 			}
 		}
+	}
+	return trials
+}
+
+func expandWhatIf(opts experiments.Options) []Trial {
+	var trials []Trial
+	for _, branch := range experiments.WhatIfBranches {
+		branch := branch
+		trials = append(trials, Trial{
+			Experiment: "whatif", Point: "branch=" + branch,
+			Seed: opts.Seeds[0], Nodes: 10000, Scale: opts.Scale,
+			run: func() Metrics {
+				r := experiments.WhatIfBranch(opts, branch)
+				return Metrics{
+					"response_s":  r.Response.Seconds(),
+					"p50_s":       r.P50.Seconds(),
+					"p95_s":       r.P95.Seconds(),
+					"p99_s":       r.P99.Seconds(),
+					"warm_at_s":   r.WarmAt.Seconds(),
+					"jobs":        float64(r.Jobs),
+					"jobs_failed": float64(r.JobsFailed),
+				}
+			},
+		})
 	}
 	return trials
 }

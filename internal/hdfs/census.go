@@ -1,0 +1,94 @@
+package hdfs
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"hog/internal/netmodel"
+)
+
+// Census is a deterministic digest of namenode state, recorded in snapshots
+// and re-checked after a deterministic replay: any field diverging means
+// the replay did not reconstruct the filesystem the snapshot saw.
+type Census struct {
+	Datanodes     int     `json:"datanodes"`
+	AliveNodes    int     `json:"alive_nodes"`
+	Blocks        int     `json:"blocks"`
+	Files         int     `json:"files"`
+	NextBlock     BlockID `json:"next_block"`
+	ReplQueue     int     `json:"repl_queue"`
+	ReplStreams   int     `json:"repl_streams"`
+	Down          bool    `json:"down"`
+	SafeMode      bool    `json:"safe_mode"`
+	PendingWrites int     `json:"pending_writes"`
+	Stats         Stats   `json:"stats"`
+	Hash          uint64  `json:"hash"`
+}
+
+// Census digests the namenode's current state. The hash walks every
+// datanode in the deterministic dnOrder (ID, liveness, replica count) and
+// every block in ascending block-ID order (size, liveness flags, sorted
+// replica set), so two namenodes agreeing on the counts but placing
+// replicas differently still differ.
+func (nn *Namenode) Census() Census {
+	c := Census{
+		Datanodes:     len(nn.datanodes),
+		Blocks:        len(nn.blocks),
+		Files:         len(nn.files),
+		NextBlock:     nn.nextBlock,
+		ReplQueue:     nn.replQueue.len(),
+		ReplStreams:   nn.replStreams,
+		Down:          nn.down,
+		SafeMode:      nn.safeMode,
+		PendingWrites: len(nn.pendingWrites),
+		Stats:         nn.stats,
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, d := range nn.dnOrder {
+		if d.Alive {
+			c.AliveNodes++
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint64(d.ID))
+		put(uint64(len(d.blocks)))
+	}
+	bids := make([]BlockID, 0, len(nn.blocks))
+	for bid := range nn.blocks {
+		bids = append(bids, bid)
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i] < bids[j] })
+	reps := make([]netmodel.NodeID, 0, 16)
+	for _, bid := range bids {
+		blk := nn.blocks[bid]
+		put(uint64(bid))
+		put(math.Float64bits(blk.Size))
+		flags := uint64(0)
+		if blk.lost {
+			flags |= 1
+		}
+		if blk.writing {
+			flags |= 2
+		}
+		put(flags)
+		reps = reps[:0]
+		for id := range blk.replicas {
+			reps = append(reps, id)
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		for _, id := range reps {
+			put(uint64(id))
+		}
+		put(uint64(len(blk.pending)))
+	}
+	c.Hash = h.Sum64()
+	return c
+}

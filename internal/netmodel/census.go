@@ -1,0 +1,53 @@
+package netmodel
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Census is a deterministic digest of network state, recorded in snapshots
+// and re-checked after a deterministic replay. FlowSeq is the total number
+// of flows ever created — a strict event-order signature: two runs that
+// started the same flows in the same order agree on it, and almost nothing
+// else does.
+type Census struct {
+	Sites       int    `json:"sites"`
+	Nodes       int    `json:"nodes"`
+	ActiveFlows int    `json:"active_flows"`
+	FlowSeq     uint64 `json:"flow_seq"`
+	Stats       Stats  `json:"stats"`
+	Hash        uint64 `json:"hash"`
+}
+
+// Census digests the network's current state. The hash folds in every
+// site's WAN bandwidth (so mid-run DegradeNetwork state is covered) and the
+// byte counters.
+func (n *Network) Census() Census {
+	c := Census{
+		Sites:       len(n.sites),
+		Nodes:       len(n.nodes),
+		ActiveFlows: n.nActive,
+		FlowSeq:     n.flowSeq,
+		Stats:       n.stats,
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, s := range n.sites {
+		put(math.Float64bits(s.up.capacity))
+		put(math.Float64bits(s.down.capacity))
+	}
+	put(c.FlowSeq)
+	put(uint64(c.ActiveFlows))
+	put(math.Float64bits(n.stats.BytesTotal))
+	put(math.Float64bits(n.stats.BytesCrossSite))
+	put(math.Float64bits(n.stats.BytesDisk))
+	put(uint64(n.stats.FlowsStarted))
+	put(uint64(n.stats.FlowsCanceled))
+	c.Hash = h.Sum64()
+	return c
+}

@@ -201,6 +201,7 @@ type Engine struct {
 	q        evqueue
 	seq      uint64
 	rng      *rand.Rand
+	src      *CountingSource
 	stopped  bool
 	fired    uint64
 	pending  int      // live count of scheduled, non-canceled events
@@ -216,7 +217,11 @@ func New(seed int64) *Engine { return NewEngine(Config{Seed: seed}) }
 
 // NewEngine returns an engine configured by cfg.
 func NewEngine(cfg Config) *Engine {
-	e := &Engine{rng: rand.New(rand.NewSource(cfg.Seed)), heapQ: cfg.HeapScheduler}
+	// The counting wrapper forwards rand.NewSource's stream unchanged, so
+	// every pre-existing run stays bit-identical; the draw count it maintains
+	// is what snapshots record as the stream position (see CountingSource).
+	src := NewCountingSource(cfg.Seed)
+	e := &Engine{rng: rand.New(src), src: src, heapQ: cfg.HeapScheduler}
 	switch {
 	case cfg.HeapScheduler:
 		e.q = &heapQ{}
@@ -264,6 +269,20 @@ func (e *Engine) Pending() int { return e.pending }
 // Fired returns the number of events executed so far; useful as a progress
 // and complexity metric in benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// Seed returns the seed the engine's random source was created with.
+func (e *Engine) Seed() int64 { return e.src.SeedValue() }
+
+// RandDraws returns the number of values drawn from the engine's random
+// source so far — the stream's position, recorded by snapshots and verified
+// on restore (a replay that lands on a different count consumed randomness
+// the original run did not).
+func (e *Engine) RandDraws() uint64 { return e.src.Draws() }
+
+// SeqCount returns the number of tie-breaking sequence numbers issued so
+// far. Together with Now, Fired, and Pending it pins the engine's scheduling
+// state for the snapshot census.
+func (e *Engine) SeqCount() uint64 { return e.seq }
 
 // alloc takes an event from the free list, or allocates one.
 func (e *Engine) alloc() *event {
@@ -360,6 +379,22 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// RunUntilWhile executes events with timestamps <= deadline while cond()
+// holds; cond is evaluated before each event. Unlike RunUntil the clock is
+// left at the last executed event, never advanced to the deadline: a later
+// continuation of the run (RunWhile, another RunUntilWhile) then fires
+// exactly the event sequence an uninterrupted run would have fired, which is
+// the property mid-run snapshots rely on.
+func (e *Engine) RunUntilWhile(deadline Time, cond func() bool) {
+	e.stopped = false
+	for !e.stopped && cond() {
+		if _, ok := e.q.peek(deadline); !ok {
+			break
+		}
+		e.step()
 	}
 }
 

@@ -1,0 +1,51 @@
+package sim
+
+import "math/rand"
+
+// CountingSource wraps the standard library's seeded PRNG source and counts
+// how many values have been drawn from it. The wrapper forwards every draw
+// unchanged, so a Rand built on a CountingSource produces exactly the same
+// stream as one built on rand.NewSource with the same seed — swapping it in
+// changes no simulation result.
+//
+// The count is the snapshot representation of the stream's position: a
+// snapshot records (seed, draws), and a deterministic replay from the same
+// seed must land on the same draw count — any divergence means some code
+// path consumed randomness it did not consume in the original run (a hidden
+// or unregistered random source, the exact bug the snapshot census exists
+// to catch).
+type CountingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// NewCountingSource returns a counting wrapper around rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count with the stream.
+func (s *CountingSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// SeedValue returns the seed the stream was created (or last re-seeded) with.
+func (s *CountingSource) SeedValue() int64 { return s.seed }
+
+// Draws returns the number of values drawn since the last seeding.
+func (s *CountingSource) Draws() uint64 { return s.draws }

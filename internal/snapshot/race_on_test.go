@@ -1,0 +1,7 @@
+//go:build race
+
+package snapshot
+
+// raceDetector reports whether the test binary was built with -race; the
+// heavy scale tests shrink or skip themselves under it.
+const raceDetector = true
