@@ -67,6 +67,7 @@ var printers = map[string]func(io.Writer, experiments.Options){
 	"sched":     experiments.PrintSchedScale,
 	"events":    experiments.PrintEventCounts,
 	"chaos":     experiments.PrintChaos,
+	"chaos2":    experiments.PrintChaos2,
 	"policy":    experiments.PrintPolicy,
 	"whatif":    experiments.PrintWhatIf,
 }

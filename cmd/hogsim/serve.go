@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"hog/internal/core"
 	"hog/internal/event"
@@ -53,7 +57,32 @@ func serveMain(args []string) int {
 	}
 	fmt.Fprintf(os.Stderr, "hogsim serve: %d-node pool warm at t=%.0f s, listening on http://%s\n",
 		*nodes, srv.sys.Eng.Now().Seconds(), *addr)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.routes(),
+		// Header and idle deadlines bound connection-level stalls; the
+		// endpoint bodies get their own per-request deadline in routes().
+		// No WriteTimeout: /events streams for the client's lifetime.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "hogsim serve: caught %v, draining\n", sig)
+	}
+	// Release the /events streams first — Shutdown waits for in-flight
+	// handlers, and an SSE handler only returns once told to.
+	srv.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
@@ -74,12 +103,15 @@ type server struct {
 	ring    []event.Event
 	subs    map[int]chan event.Event
 	nextSub int
+
+	done      chan struct{} // closed on shutdown; releases /events handlers
+	closeOnce sync.Once
 }
 
 // newServer builds the system, subscribes the server to its event bus,
 // starts the workload, and warms it up to runStart+warm.
 func newServer(cfg core.Config, sched *workload.Schedule, warm sim.Time) (*server, error) {
-	s := &server{subs: make(map[int]chan event.Event)}
+	s := &server{subs: make(map[int]chan event.Event), done: make(chan struct{})}
 	sys, err := core.NewSystem(cfg, s)
 	if err != nil {
 		return nil, err
@@ -115,14 +147,38 @@ func (s *server) HandleEvent(e event.Event) {
 	}
 }
 
+// close releases every live /events subscriber and makes the server refuse
+// further streaming; it is idempotent and safe from any goroutine.
+func (s *server) close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// subscribers reports the live /events subscriber count (tests use it to
+// check that disconnected clients are reaped).
+func (s *server) subscribers() int {
+	s.evmu.Lock()
+	defer s.evmu.Unlock()
+	return len(s.subs)
+}
+
+// requestTimeout bounds each non-streaming request body. Fork branches run
+// whole simulations under the lock, so the bound is generous; only a wedged
+// request should ever hit it.
+const requestTimeout = 30 * time.Second
+
 func (s *server) routes() http.Handler {
 	// Method dispatch is by hand: the module's language floor predates the
-	// Go 1.22 ServeMux method patterns.
+	// Go 1.22 ServeMux method patterns. Every endpoint except the SSE
+	// stream gets a per-request deadline; /events is exempt because it
+	// legitimately runs forever (and TimeoutHandler cannot stream anyway).
+	bounded := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, requestTimeout, "request timed out\n")
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/state", method("GET", s.handleState))
-	mux.HandleFunc("/snapshot", method("GET", s.handleSnapshot))
-	mux.HandleFunc("/advance", method("POST", s.handleAdvance))
-	mux.HandleFunc("/fork", method("POST", s.handleFork))
+	mux.Handle("/state", bounded(method("GET", s.handleState)))
+	mux.Handle("/snapshot", bounded(method("GET", s.handleSnapshot)))
+	mux.Handle("/advance", bounded(method("POST", s.handleAdvance)))
+	mux.Handle("/fork", bounded(method("POST", s.handleFork)))
 	mux.HandleFunc("/events", method("GET", s.handleEvents))
 	return mux
 }
@@ -376,6 +432,8 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.done:
 			return
 		case e := <-ch:
 			if !emit(e) {

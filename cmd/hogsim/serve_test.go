@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hog/internal/core"
 	"hog/internal/grid"
@@ -197,5 +198,73 @@ func TestServeEventsReplay(t *testing.T) {
 	}
 	if events < 5 || data < 5 {
 		t.Fatalf("replayed %d event lines / %d data lines, want >= 5 of each", events, data)
+	}
+}
+
+// subscribeEvents opens an /events stream and reads until the replay ring
+// has started flowing, proving the handler is registered and live.
+func subscribeEvents(t *testing.T, ctx context.Context, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("reading first byte of /events: %v", err)
+	}
+	return resp
+}
+
+// waitSubscribers polls the subscriber count until it reaches want.
+func waitSubscribers(t *testing.T, srv *server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.subscribers() != want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.subscribers(); got != want {
+		t.Fatalf("subscribers = %d, want %d", got, want)
+	}
+}
+
+func TestServeEventsClientReaped(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resp := subscribeEvents(t, ctx, ts.URL)
+	defer resp.Body.Close()
+	waitSubscribers(t, srv, 1)
+
+	// Drop the client. The handler must notice the dead connection and
+	// deregister the subscriber instead of fanning out to it forever.
+	cancel()
+	waitSubscribers(t, srv, 0)
+}
+
+func TestServeShutdownDrainsSubscribers(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resp := subscribeEvents(t, ctx, ts.URL)
+	defer resp.Body.Close()
+	waitSubscribers(t, srv, 1)
+
+	// Graceful shutdown releases the stream from the server side: the
+	// handler returns (the subscriber table empties) and the client sees
+	// its stream end rather than hang.
+	srv.close()
+	waitSubscribers(t, srv, 0)
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil && err != io.EOF {
+		t.Fatalf("drained stream ended with %v, want clean EOF", err)
 	}
 }

@@ -47,6 +47,17 @@ const (
 	EvSafeModeEntered     = event.SafeModeEntered
 	EvSafeModeExited      = event.SafeModeExited
 	EvTrackerReregistered = event.TrackerReregistered
+	// Partition, gray-failure, and corruption faults (see docs/FAULTS.md).
+	EvPartitionStarted    = event.PartitionStarted
+	EvPartitionHealed     = event.PartitionHealed
+	EvNodeDegraded        = event.NodeDegraded
+	EvNodeRestored        = event.NodeRestored
+	EvNodeRecovered       = event.NodeRecovered
+	EvReplicaCorrupted    = event.ReplicaCorrupted
+	EvCorruptReadDetected = event.CorruptReadDetected
+	EvReplicaInvalidated  = event.ReplicaInvalidated
+	EvPipelineRecovered   = event.PipelineRecovered
+	EvMasterGiveUp        = event.MasterGiveUp
 )
 
 // Task kinds for task events.

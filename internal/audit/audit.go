@@ -23,7 +23,15 @@
 //     launch time, or by the eager-redundancy budget;
 //   - under the fair scheduler, no pool's running tasks exceed its
 //     configured cap, and the incremental per-pool counters agree with a
-//     recount from tracker state.
+//     recount from tracker state;
+//   - partition-started/healed events pair per site, and gray
+//     degraded/restored events pair per node;
+//   - corrupt data is never acknowledged to a reader as good (the
+//     CorruptAcked counter stays zero — checksum verification is total);
+//   - a recovery copy never lands on a node flagged gray, and a corruption
+//     marker never survives the replica's invalidation;
+//   - a node-recovered event names a datanode the namenode again counts
+//     alive.
 package audit
 
 import (
@@ -64,6 +72,12 @@ type Auditor struct {
 	nnDown   bool
 	jtDown   bool
 	safeMode bool
+
+	// Beyond-crash-stop pairing state: active partition installs per site
+	// (site- and node-level cuts on one site may overlap; a heal clears
+	// them all) and nodes currently under gray degradation.
+	parted map[string]int
+	gray   map[netmodel.NodeID]bool
 
 	count      int
 	violations []Violation
@@ -173,6 +187,49 @@ func (a *Auditor) HandleEvent(ev event.Event) {
 					ev.Job, kind, ev.Task, ev.Node, a.jt.SpeculationPolicyName())
 			}
 		}
+	case event.PartitionStarted:
+		if a.parted == nil {
+			a.parted = make(map[string]int)
+		}
+		a.parted[ev.Site]++
+	case event.PartitionHealed:
+		if a.parted[ev.Site] == 0 {
+			a.violate(ev.Time, "partition-pairing", "site %q healed without an installed partition", ev.Site)
+		}
+		delete(a.parted, ev.Site)
+	case event.NodeDegraded:
+		if a.gray == nil {
+			a.gray = make(map[netmodel.NodeID]bool)
+		}
+		if a.gray[ev.Node] {
+			a.violate(ev.Time, "degrade-pairing", "node %d degraded twice without restore", ev.Node)
+		}
+		a.gray[ev.Node] = true
+	case event.NodeRestored:
+		if !a.gray[ev.Node] {
+			a.violate(ev.Time, "degrade-pairing", "node %d restored without degradation", ev.Node)
+		}
+		delete(a.gray, ev.Node)
+	case event.NodeRecovered:
+		if a.nn != nil {
+			if d := a.nn.Datanode(ev.Node); d == nil || !d.Alive {
+				a.violate(ev.Time, "node-recovered", "node %d recovered but datanode not alive", ev.Node)
+			}
+		}
+	case event.ReplicationDone:
+		// Placement must exclude gray nodes; a recovery copy landing on one
+		// means the placement policy saw (or ignored) the flag.
+		if a.nn != nil {
+			if d := a.nn.Datanode(ev.Node); d != nil && d.Gray() {
+				a.violate(ev.Time, "gray-placement", "recovery copy of block %d landed on gray node %d", ev.Block, ev.Node)
+			}
+		}
+	case event.ReplicaInvalidated:
+		if a.nn != nil {
+			if b := a.nn.Block(hdfs.BlockID(ev.Block)); b != nil && b.CorruptOn(ev.Node) {
+				a.violate(ev.Time, "corrupt-invalidation", "block %d corruption marker on node %d survived invalidation", ev.Block, ev.Node)
+			}
+		}
 	case event.JobFinished:
 		if a.jt != nil && ev.Detail == "succeeded" {
 			for _, j := range a.jt.Jobs() {
@@ -206,6 +263,11 @@ func (a *Auditor) Sweep(now sim.Time) {
 func (a *Auditor) sweepHDFS(now sim.Time) {
 	nn := a.nn
 	degraded := nn.Degraded()
+	// Checksum verification is total: a reader is never handed corrupt
+	// bytes as good data, under any fault mix.
+	if acked := nn.Stats().CorruptAcked; acked != 0 {
+		a.violate(now, "corrupt-acked", "%d corrupt reads acknowledged as good data", acked)
+	}
 	nn.ForEachBlock(func(b *hdfs.BlockInfo) {
 		reps := b.Replicas()
 		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })

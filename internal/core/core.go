@@ -152,6 +152,14 @@ type Config struct {
 	// deliberately below the masters' 30 s dead timeouts so a worker always
 	// re-registers before a recovered master could declare it dead.
 	MasterBackoffMax sim.Time
+	// MasterRetryTotal caps the TOTAL time a worker keeps retrying an
+	// unresponsive master before its daemons give up for good (a real
+	// daemon's ipc.client.connect retry budget). Capping only the
+	// per-attempt delay (MasterBackoffMax) would retry forever; this bounds
+	// the whole campaign. Giving up emits MasterGiveUp and the worker never
+	// reconnects. The default (30 min) is far above every scripted outage in
+	// the benchmark suite, so it never fires unless a scenario asks for it.
+	MasterRetryTotal sim.Time
 }
 
 // Policies names the pluggable policies for the four extracted decision
@@ -302,13 +310,28 @@ type worker struct {
 	// Master-loss retry state, per master (see retryNN/retryJT). nnLost is
 	// set when a heartbeat to a crashed namenode goes unanswered; the worker
 	// then retries at nnRetryAt with exponential backoff nnBackoff, and
-	// re-registers when the master is back. Likewise jt* for the JobTracker.
-	nnLost    bool
-	jtLost    bool
-	nnRetryAt sim.Time
-	jtRetryAt sim.Time
-	nnBackoff sim.Time
-	jtBackoff sim.Time
+	// re-registers when the master is back. nnLostSince anchors the total
+	// retry-duration cap (Config.MasterRetryTotal); once it is exceeded the
+	// worker sets nnGaveUp and stops retrying for good. Likewise jt* for the
+	// JobTracker.
+	nnLost      bool
+	jtLost      bool
+	nnGaveUp    bool
+	jtGaveUp    bool
+	nnRetryAt   sim.Time
+	jtRetryAt   sim.Time
+	nnBackoff   sim.Time
+	jtBackoff   sim.Time
+	nnLostSince sim.Time
+	jtLostSince sim.Time
+
+	// Gray-degradation state (faults.go). grayLoss is the probability each
+	// heartbeat beat is dropped, drawn from the dedicated counting "gray"
+	// stream — zero fault-free, so fault-free runs make zero draws there.
+	// origSpeed remembers the tracker's nominal speed across a slow-disk
+	// derating so RestoreNodes can undo it exactly.
+	grayLoss  float64
+	origSpeed float64
 }
 
 // System is a running HOG or dedicated-cluster instance.
@@ -332,6 +355,16 @@ type System struct {
 	// description, so Apply can reject a later scenario scheduling a
 	// conflicting action on the same target at the same instant.
 	timedKeys map[string]string
+
+	// Fault-injection bookkeeping (faults.go): which sites and nodes carry
+	// an installed partition (name/ID -> cut mode), which nodes are under
+	// gray degradation, and the dedicated counting RNG stream gray
+	// heartbeat-loss draws come from (always constructed, drawn from only
+	// under injected gray loss; see RNGStreams).
+	partedSites map[string]string
+	partedNodes map[netmodel.NodeID]string
+	degraded    map[netmodel.NodeID]struct{}
+	gray        *grayStream
 
 	// Run-phase state for the snapshot subsystem: where the system is in its
 	// lifecycle, and the schedule/anchor the in-flight run was started with
@@ -388,6 +421,9 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 	if cfg.MasterBackoffMax <= 0 {
 		cfg.MasterBackoffMax = 15 * sim.Second
 	}
+	if cfg.MasterRetryTotal <= 0 {
+		cfg.MasterRetryTotal = 30 * sim.Minute
+	}
 	// Fold the top-level policy selections into the subsystem configs before
 	// the masters are built; Validate has already vetted the names.
 	if p := cfg.Policies; p != (Policies{}) {
@@ -431,6 +467,7 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 		workers:  make(map[netmodel.NodeID]*worker),
 		bus:      &event.Bus{},
 		Reported: metrics.NewSeries("reported-nodes"),
+		gray:     newGrayStream(cfg.Seed),
 	}
 	for _, o := range obs {
 		s.bus.Subscribe(o)
@@ -483,6 +520,24 @@ func NewSystem(cfg Config, obs ...event.Observer) (*System, error) {
 			// schedules) so the sharded engine settles it on the worker's
 			// site wheel; pure load placement, never ordering.
 			s.Eng.SetShard(w.shard)
+			if w.health == workerDead {
+				continue
+			}
+			// A partitioned worker's beats drop silently: the masters'
+			// dead timeouts fire exactly as for a crash, but the daemons
+			// are intact and heal-side recovery revives them (faults.go).
+			// The worker does not enter the master-loss retry state — its
+			// problem is the network, not the master.
+			if !s.Net.MasterReachable(w.id) {
+				continue
+			}
+			// Gray heartbeat loss: each beat is dropped with probability
+			// grayLoss, drawn from the dedicated counting "gray" stream.
+			// Fault-free grayLoss is zero everywhere and no draw happens,
+			// keeping fault-free runs byte-identical draw-for-draw.
+			if w.grayLoss > 0 && s.gray.rnd.Float64() < w.grayLoss {
+				continue
+			}
 			switch w.health {
 			case workerHealthy:
 				if nnDown || w.nnLost {
@@ -572,19 +627,28 @@ func (s *System) jitter(d sim.Time) sim.Time {
 
 // retryNN drives one worker's backed-off reconnection to the namenode.
 // Retries are quantized to heartbeat beats: the worker acts on the first
-// beat at or after its scheduled retry instant.
+// beat at or after its scheduled retry instant. A campaign that has been
+// failing for MasterRetryTotal gives up for good: the daemon exits its
+// retry loop (MasterGiveUp) and never reconnects, even if the master later
+// returns — the dead scan reaps it like any silent node.
 func (s *System) retryNN(w *worker, now sim.Time, down bool) {
 	if !w.nnLost {
 		// Heartbeat went unanswered: note the loss, back off.
 		w.nnLost = true
+		w.nnLostSince = now
 		w.nnBackoff = s.cfg.MasterBackoffInitial
 		w.nnRetryAt = now + s.jitter(w.nnBackoff)
 		return
 	}
-	if now < w.nnRetryAt {
+	if w.nnGaveUp || now < w.nnRetryAt {
 		return
 	}
 	if down {
+		if now-w.nnLostSince >= s.cfg.MasterRetryTotal {
+			w.nnGaveUp = true
+			s.emitGiveUp(w, "namenode")
+			return
+		}
 		// Retry failed: double the backoff, up to the cap.
 		w.nnBackoff *= 2
 		if w.nnBackoff > s.cfg.MasterBackoffMax {
@@ -602,14 +666,20 @@ func (s *System) retryNN(w *worker, now sim.Time, down bool) {
 func (s *System) retryJT(w *worker, now sim.Time, down bool) {
 	if !w.jtLost {
 		w.jtLost = true
+		w.jtLostSince = now
 		w.jtBackoff = s.cfg.MasterBackoffInitial
 		w.jtRetryAt = now + s.jitter(w.jtBackoff)
 		return
 	}
-	if now < w.jtRetryAt {
+	if w.jtGaveUp || now < w.jtRetryAt {
 		return
 	}
 	if down {
+		if now-w.jtLostSince >= s.cfg.MasterRetryTotal {
+			w.jtGaveUp = true
+			s.emitGiveUp(w, "jobtracker")
+			return
+		}
 		w.jtBackoff *= 2
 		if w.jtBackoff > s.cfg.MasterBackoffMax {
 			w.jtBackoff = s.cfg.MasterBackoffMax
@@ -620,6 +690,16 @@ func (s *System) retryJT(w *worker, now sim.Time, down bool) {
 	w.jtLost = false
 	w.jtBackoff = 0
 	s.JT.ReregisterTracker(w.tr)
+}
+
+// emitGiveUp reports a worker abandoning its master-reconnect campaign.
+func (s *System) emitGiveUp(w *worker, master string) {
+	if s.bus.Active() {
+		ev := event.At(event.MasterGiveUp, s.Eng.Now())
+		ev.Node = w.id
+		ev.Detail = master
+		s.bus.Emit(ev)
+	}
 }
 
 func (s *System) buildStatic() {
@@ -669,6 +749,9 @@ func (s *System) onPreempt(n *grid.Node) {
 		return
 	}
 	s.Disk.Clear(n.ID)
+	// The site reclaimed the machine: its disk contents are genuinely gone,
+	// so a later partition heal must not "recover" replicas from it.
+	s.NN.MarkPhysicallyLost(n.ID)
 	switch s.cfg.Zombie {
 	case ZombieFixed:
 		// Direct-child daemons die with the process tree: tasks stop
@@ -724,6 +807,9 @@ func (s *System) onDiskOverflow(n netmodel.NodeID) {
 		s.zombies--
 	}
 	w.health = workerDead
+	// An overflowed scratch disk takes the node's data down with the
+	// daemons — nothing survives for a partition heal to hand back.
+	s.NN.MarkPhysicallyLost(n)
 	s.JT.NodeCrashed(n)
 	if s.Pool != nil {
 		s.Pool.Kill(n)
@@ -852,15 +938,22 @@ type RNGStream struct {
 }
 
 // RNGStreams enumerates every random stream that can influence the
-// simulation. There is exactly one: the engine's seeded stream, which all
-// model layers draw through (Eng.Rand()). Workload generation
+// simulation. There are exactly two: the engine's seeded stream, which all
+// model layers draw through (Eng.Rand()), and the "gray" stream gray
+// heartbeat-loss decisions draw through (faults.go) — kept separate so
+// injecting gray loss cannot shift the engine stream consumed by the
+// fault-free model, and counted so snapshots can verify its position too.
+// Fault-free runs draw zero values from the gray stream. Workload generation
 // (internal/workload) and chaos-schedule generation (experiments) seed their
 // own rand instances, but those run before the simulation and their output
 // rides in snapshots as data — they are generators, not simulator streams.
-// Snapshot equivalence tests assert the replayed draw count matches the
-// recorded one, which catches any code path growing a hidden rand source.
+// Snapshot equivalence tests assert the replayed draw counts match the
+// recorded ones, which catches any code path growing a hidden rand source.
 func (s *System) RNGStreams() []RNGStream {
-	return []RNGStream{{Name: "engine", Seed: s.Eng.Seed(), Draws: s.Eng.RandDraws()}}
+	return []RNGStream{
+		{Name: "engine", Seed: s.Eng.Seed(), Draws: s.Eng.RandDraws()},
+		{Name: "gray", Seed: s.gray.src.SeedValue(), Draws: s.gray.src.Draws()},
+	}
 }
 
 // StartWorkload provisions (if needed), stages the schedule's input files,

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"hog/internal/audit"
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// TestNamedStreamDraws pins the determinism contract for the fault model's
+// randomness: every stream that can influence a run is enumerated in
+// RNGStreams, the gray heartbeat-loss stream is drawn from exactly when a
+// gray-loss fault is live (zero draws on fault-free runs and on every other
+// fault family), and two runs of the same schedule land every stream on the
+// same position with the same event fingerprint.
+func TestNamedStreamDraws(t *testing.T) {
+	cases := []struct {
+		name     string
+		scenario func(file string) *Scenario
+		wantGray bool // the gray stream must see draws
+	}{
+		{"fault-free", nil, false},
+		{"site-partition", func(string) *Scenario {
+			return NewScenario("part").
+				PartitionSiteAt(120*sim.Second, "UCSDT2", "both").
+				HealPartitionAt(420*sim.Second, "UCSDT2")
+		}, false},
+		{"node-partition-asymmetric", func(string) *Scenario {
+			return NewScenario("npart").
+				PartitionNodesAt(120*sim.Second, "AGLT2", 2, "in").
+				HealPartitionAt(360*sim.Second, "AGLT2")
+		}, false},
+		{"corruption", func(file string) *Scenario {
+			return NewScenario("rot").CorruptReplicasAt(90*sim.Second, file, 3)
+		}, false},
+		{"gray-degradation", func(string) *Scenario {
+			return NewScenario("gray").
+				DegradeNodesAt(120*sim.Second, "UCSDT2", 2, 4, 0.3).
+				RestoreNodesAt(600*sim.Second, "UCSDT2")
+		}, true},
+		{"gray-slow-disk-only", func(string) *Scenario {
+			// Slow disk without heartbeat loss: gray placement exclusion and
+			// disk derating engage, but the loss stream is never consulted.
+			return NewScenario("slow").
+				DegradeNodesAt(120*sim.Second, "MIT_CMS", 2, 4, 0).
+				RestoreNodesAt(600*sim.Second, "MIT_CMS")
+		}, false},
+	}
+	for i, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seed := int64(40 + i)
+			run := func() ([]RNGStream, uint64, uint64) {
+				sys := New(HOGConfig(40, grid.ChurnNone, seed))
+				log := event.NewLog()
+				sys.Subscribe(log)
+				sched := tinySchedule(seed)
+				if tc.scenario != nil {
+					if err := sys.Apply(tc.scenario("/in/" + sched.Jobs[0].Name)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				sys.RunWorkload(sched)
+				return sys.RNGStreams(), sys.GrayDraws(), log.Fingerprint()
+			}
+			streams, grayDraws, fp := run()
+
+			if len(streams) != 2 || streams[0].Name != "engine" || streams[1].Name != "gray" {
+				t.Fatalf("RNGStreams = %+v, want exactly [engine, gray]", streams)
+			}
+			if streams[1].Draws != grayDraws {
+				t.Fatalf("registry reports %d gray draws, accessor %d", streams[1].Draws, grayDraws)
+			}
+			if tc.wantGray && grayDraws == 0 {
+				t.Fatal("gray-loss fault live but the gray stream was never drawn")
+			}
+			if !tc.wantGray && grayDraws != 0 {
+				t.Fatalf("gray stream drew %d times with no gray-loss fault live", grayDraws)
+			}
+
+			streams2, grayDraws2, fp2 := run()
+			if fp != fp2 {
+				t.Fatalf("same schedule, different fingerprints: %x vs %x", fp, fp2)
+			}
+			for j := range streams {
+				if streams[j] != streams2[j] {
+					t.Fatalf("stream %q position diverged across reruns: %+v vs %+v",
+						streams[j].Name, streams[j], streams2[j])
+				}
+			}
+			_ = grayDraws2
+		})
+	}
+}
+
+// TestPartitionHealEndToEnd partitions a whole site mid-workload and heals
+// it: the masters must declare the silenced nodes dead via the ordinary
+// timeout, the heal must re-register them with their preserved replica
+// inventory (NodeRecovered), every partition event must pair, the workload
+// must finish, and the cross-layer audit must stay clean throughout.
+func TestPartitionHealEndToEnd(t *testing.T) {
+	sys := New(HOGConfig(50, grid.ChurnNone, 41))
+	log := event.NewLog()
+	sys.Subscribe(log)
+	aud := audit.New()
+	aud.Attach(sys.NN, sys.JT)
+	sys.Subscribe(aud)
+	sys.Eng.Every(30*sim.Second, func() { aud.Sweep(sys.Eng.Now()) })
+
+	sc := NewScenario("site cut").
+		PartitionSiteAt(180*sim.Second, "UCSDT2", "both").
+		HealPartitionAt(600*sim.Second, "UCSDT2")
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunWorkload(tinySchedule(41))
+	aud.Sweep(sys.Eng.Now())
+
+	if res.JobsFailed != 0 {
+		t.Fatalf("%d jobs failed across the partition", res.JobsFailed)
+	}
+	if got := log.Count(event.PartitionStarted); got != 1 {
+		t.Fatalf("PartitionStarted = %d, want 1", got)
+	}
+	if got := log.Count(event.PartitionHealed); got != 1 {
+		t.Fatalf("PartitionHealed = %d, want 1", got)
+	}
+	if log.Count(event.NodeRecovered) == 0 {
+		t.Fatal("no datanode recovered its preserved inventory after the heal")
+	}
+	if sys.PartitionedSites() != 0 || sys.PartitionedNodes() != 0 {
+		t.Fatal("partition state left installed after the heal")
+	}
+	if n := aud.Count(); n != 0 {
+		t.Fatalf("%d audit violations; first: %v", n, aud.Violations()[0])
+	}
+}
+
+// TestDegradeRestoreEndToEnd puts nodes into the gray state (slow disk +
+// lossy heartbeats) and restores them: degrade/restore events must pair, the
+// fault must actually drop heartbeats (gray stream draws), placement must be
+// avoiding the gray nodes while flagged, and the audit must stay clean.
+func TestDegradeRestoreEndToEnd(t *testing.T) {
+	sys := New(HOGConfig(50, grid.ChurnNone, 42))
+	log := event.NewLog()
+	sys.Subscribe(log)
+	aud := audit.New()
+	aud.Attach(sys.NN, sys.JT)
+	sys.Subscribe(aud)
+	sys.Eng.Every(30*sim.Second, func() { aud.Sweep(sys.Eng.Now()) })
+
+	sc := NewScenario("gray patch").
+		DegradeNodesAt(150*sim.Second, "AGLT2", 3, 4, 0.25).
+		RestoreNodesAt(750*sim.Second, "AGLT2")
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunWorkload(tinySchedule(42))
+	aud.Sweep(sys.Eng.Now())
+
+	if res.JobsFailed != 0 {
+		t.Fatalf("%d jobs failed across the gray episode", res.JobsFailed)
+	}
+	deg, rst := log.Count(event.NodeDegraded), log.Count(event.NodeRestored)
+	if deg == 0 || deg != rst {
+		t.Fatalf("NodeDegraded = %d, NodeRestored = %d, want equal and > 0", deg, rst)
+	}
+	if sys.GrayDraws() == 0 {
+		t.Fatal("heartbeat-loss draws = 0 under a live gray fault")
+	}
+	if sys.DegradedNodes() != 0 {
+		t.Fatalf("%d nodes still degraded after restore", sys.DegradedNodes())
+	}
+	if n := aud.Count(); n != 0 {
+		t.Fatalf("%d audit violations; first: %v", n, aud.Violations()[0])
+	}
+}

@@ -83,6 +83,56 @@ func TestMasterCrashDeterministic(t *testing.T) {
 	}
 }
 
+// TestMasterRetryTotalGiveUp pins the retry budget: when a master outage
+// outlasts Config.MasterRetryTotal, every orphaned worker emits exactly one
+// MasterGiveUp and stops retrying for good — the master coming back later
+// does not resurrect it. Under the default budget (far above any scripted
+// outage here) the same schedule produces zero give-ups.
+func TestMasterRetryTotalGiveUp(t *testing.T) {
+	run := func(budget sim.Time) *event.Log {
+		cfg := HOGConfig(40, grid.ChurnNone, 34)
+		cfg.MasterRetryTotal = budget
+		sys := New(cfg)
+		log := event.NewLog(event.MasterGiveUp, event.MasterCrashed,
+			event.MasterRecovered, event.TrackerReregistered)
+		sys.Subscribe(log)
+		sc := NewScenario("long nn outage").
+			CrashNameNodeAt(120 * sim.Second).
+			RestartMastersAfter(720 * sim.Second)
+		if err := sys.Apply(sc); err != nil {
+			t.Fatal(err)
+		}
+		sys.RunWorkload(tinySchedule(34))
+		return log
+	}
+
+	gaveUp := run(2 * sim.Minute)
+	if got := gaveUp.Count(event.MasterGiveUp); got == 0 {
+		t.Fatal("no MasterGiveUp with a 2-minute retry budget against a 10-minute outage")
+	}
+	seen := map[int64]bool{}
+	for _, e := range gaveUp.Events() {
+		if e.Type != event.MasterGiveUp {
+			continue
+		}
+		if e.Detail != "namenode" {
+			t.Fatalf("MasterGiveUp detail = %q, want namenode (only the NameNode crashed)", e.Detail)
+		}
+		if seen[int64(e.Node)] {
+			t.Fatalf("node %d gave up twice — the budget must trip at most once per master", e.Node)
+		}
+		seen[int64(e.Node)] = true
+	}
+
+	patient := run(0) // 0 selects the default 30-minute budget
+	if got := patient.Count(event.MasterGiveUp); got != 0 {
+		t.Fatalf("MasterGiveUp count = %d under the default budget, want 0", got)
+	}
+	if patient.Count(event.MasterRecovered) == 0 {
+		t.Fatal("masters never recovered in the control run")
+	}
+}
+
 // TestAuditorDoesNotPerturbRun verifies the auditor is a pure observer: a
 // run with the auditor attached and sweeping matches the fingerprint of the
 // same run without it.

@@ -55,7 +55,9 @@ type StepSpec struct {
 	// Verb names the builder method: "site-outage", "churn-burst",
 	// "kill-fraction", "retarget-pool", "rebalance", "degrade-network",
 	// "crash-namenode", "crash-jobtracker", "restart-masters",
-	// "retarget-alive-below".
+	// "retarget-alive-below", "partition-site", "partition-nodes",
+	// "heal-partition", "degrade-nodes", "restore-nodes",
+	// "corrupt-replicas".
 	Verb      string   `json:"verb"`
 	At        sim.Time `json:"at,omitempty"`
 	Site      string   `json:"site,omitempty"`
@@ -65,6 +67,14 @@ type StepSpec struct {
 	MaxMoves  int      `json:"max_moves,omitempty"`
 	Factor    float64  `json:"factor,omitempty"`
 	Below     int      `json:"below,omitempty"`
+	// Beyond-crash-stop fault fields (faults.go): Mode is a partition's cut
+	// direction ("both"/"in"/"out"), Count a node-granular verb's victim
+	// count, Loss a gray node's heartbeat-drop probability, File a
+	// corruption target.
+	Mode  string  `json:"mode,omitempty"`
+	Count int     `json:"count,omitempty"`
+	Loss  float64 `json:"loss,omitempty"`
+	File  string  `json:"file,omitempty"`
 }
 
 // ScenarioSpec is the serializable form of a whole scenario.
@@ -123,6 +133,18 @@ func ScenarioFromSpec(spec ScenarioSpec) (*Scenario, error) {
 			sc.RestartMastersAfter(st.At)
 		case "retarget-alive-below":
 			sc.RetargetWhenAliveBelow(st.Below, st.Target)
+		case "partition-site":
+			sc.PartitionSiteAt(st.At, st.Site, st.Mode)
+		case "partition-nodes":
+			sc.PartitionNodesAt(st.At, st.Site, st.Count, st.Mode)
+		case "heal-partition":
+			sc.HealPartitionAt(st.At, st.Site)
+		case "degrade-nodes":
+			sc.DegradeNodesAt(st.At, st.Site, st.Count, st.Factor, st.Loss)
+		case "restore-nodes":
+			sc.RestoreNodesAt(st.At, st.Site)
+		case "corrupt-replicas":
+			sc.CorruptReplicasAt(st.At, st.File, st.Count)
 		default:
 			return nil, fmt.Errorf("core: scenario %q: unknown step verb %q", spec.Name, st.Verb)
 		}
@@ -340,6 +362,109 @@ func (sc *Scenario) RetargetWhenAliveBelow(threshold, target int) *Scenario {
 		func(s *System) bool { return s.Pool.AliveCount() < threshold },
 		func(s *System) { s.Pool.SetTarget(target) },
 		&StepSpec{Verb: "retarget-alive-below", Below: threshold, Target: target})
+}
+
+// needNetSite validates a site name against the network's site registry at
+// Apply time — unlike needSite it accepts the static cluster's
+// "cluster.local" too.
+func needNetSite(desc, site string) func(*System) error {
+	return func(s *System) error {
+		if _, ok := s.Net.SiteByName(site); !ok {
+			return fmt.Errorf("%s: no network site named %q", desc, site)
+		}
+		return nil
+	}
+}
+
+// checkMode validates a partition mode string at build time.
+func (sc *Scenario) checkMode(desc, mode string) bool {
+	if _, _, err := partitionCuts(mode); err != nil {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: %w", desc, err))
+		return false
+	}
+	return true
+}
+
+// PartitionSiteAt cuts the named site off from the rest of the fabric at
+// offset at (mode "both", "in", or "out" — see faults.go). Heartbeats and
+// data across the cut stop; the masters' dead timeouts fire exactly as for
+// a mass crash, but the daemons survive and HealPartitionAt revives them.
+func (sc *Scenario) PartitionSiteAt(at sim.Time, site, mode string) *Scenario {
+	desc := fmt.Sprintf("partition site %q", site)
+	if !sc.checkMode(desc, mode) {
+		return sc
+	}
+	return sc.addTimed(at, desc, []string{"net-part:" + site}, needNetSite(desc, site), func(s *System) {
+		s.PartitionSiteNamed(site, mode)
+	}, &StepSpec{Verb: "partition-site", At: at, Site: site, Mode: mode})
+}
+
+// PartitionNodesAt installs node-level cuts on the count lowest-ID healthy
+// workers of the named site at offset at — victims are resolved when the
+// step fires, because node IDs do not exist before provisioning.
+func (sc *Scenario) PartitionNodesAt(at sim.Time, site string, count int, mode string) *Scenario {
+	desc := fmt.Sprintf("partition %d nodes at %q", count, site)
+	if !sc.checkMode(desc, mode) {
+		return sc
+	}
+	if count <= 0 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: non-positive count", desc))
+		return sc
+	}
+	return sc.addTimed(at, desc, []string{"net-part-nodes:" + site}, needNetSite(desc, site), func(s *System) {
+		s.PartitionNodesNamed(site, count, mode)
+	}, &StepSpec{Verb: "partition-nodes", At: at, Site: site, Count: count, Mode: mode})
+}
+
+// HealPartitionAt lifts the site-level cut on the named site and every
+// node-level cut on workers there at offset at, running heal-side recovery
+// (datanode re-registration with preserved inventory, tracker revival,
+// zombie-task resolution — faults.go).
+func (sc *Scenario) HealPartitionAt(at sim.Time, site string) *Scenario {
+	desc := fmt.Sprintf("heal partition %q", site)
+	return sc.addTimed(at, desc, []string{"net-part:" + site, "net-part-nodes:" + site}, needNetSite(desc, site), func(s *System) {
+		s.HealPartitionNamed(site)
+	}, &StepSpec{Verb: "heal-partition", At: at, Site: site})
+}
+
+// DegradeNodesAt puts the count lowest-ID healthy workers of the named site
+// under gray degradation at offset at: disks derated to 1/factor of nominal,
+// compute slowed by the same factor, each heartbeat dropped with probability
+// loss, and the nodes excluded from replica placement while flagged.
+func (sc *Scenario) DegradeNodesAt(at sim.Time, site string, count int, factor, loss float64) *Scenario {
+	desc := fmt.Sprintf("degrade %d nodes at %q", count, site)
+	if count <= 0 || factor < 1 || loss < 0 || loss >= 1 {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: count %d / factor %g / loss %g invalid", desc, count, factor, loss))
+		return sc
+	}
+	return sc.addTimed(at, desc, []string{"degrade:" + site}, needNetSite(desc, site), func(s *System) {
+		s.DegradeNodesNamed(site, count, factor, loss)
+	}, &StepSpec{Verb: "degrade-nodes", At: at, Site: site, Count: count, Factor: factor, Loss: loss})
+}
+
+// RestoreNodesAt lifts gray degradation from every degraded worker at the
+// named site at offset at.
+func (sc *Scenario) RestoreNodesAt(at sim.Time, site string) *Scenario {
+	desc := fmt.Sprintf("restore nodes at %q", site)
+	return sc.addTimed(at, desc, []string{"degrade:" + site}, needNetSite(desc, site), func(s *System) {
+		s.RestoreNodesNamed(site)
+	}, &StepSpec{Verb: "restore-nodes", At: at, Site: site})
+}
+
+// CorruptReplicasAt silently corrupts up to count replicas of the named file
+// at offset at (lowest block, lowest holder IDs first — fire-time
+// resolution). The namenode learns nothing until a reader's checksum
+// verification catches a bad copy; workload input files are staged as
+// "/in/<job-name>".
+func (sc *Scenario) CorruptReplicasAt(at sim.Time, file string, count int) *Scenario {
+	desc := fmt.Sprintf("corrupt %d replicas of %q", count, file)
+	if count <= 0 || file == "" {
+		sc.errs = append(sc.errs, fmt.Errorf("%s: invalid count or empty file", desc))
+		return sc
+	}
+	return sc.addTimed(at, desc, []string{"corrupt:" + file}, nil, func(s *System) {
+		s.CorruptFileReplicas(file, count)
+	}, &StepSpec{Verb: "corrupt-replicas", At: at, File: file, Count: count})
 }
 
 // When adds a generic condition-triggered step: cond is polled on the

@@ -72,6 +72,38 @@ const (
 	// TrackerReregistered fires when a task tracker re-registers with a
 	// recovered JobTracker after detecting the crash.
 	TrackerReregistered
+	// PartitionStarted fires when a scenario installs a network partition
+	// (Site or Node names the cut target; Detail holds the cut directions:
+	// "full", "in", or "out").
+	PartitionStarted
+	// PartitionHealed fires when a partition is removed (same target fields
+	// as PartitionStarted).
+	PartitionHealed
+	// NodeDegraded fires when a gray failure is injected on a worker (Detail
+	// describes it, e.g. "disk-slow 4x" or "heartbeat-loss 0.30").
+	NodeDegraded
+	// NodeRestored fires when a gray degradation is lifted from a worker.
+	NodeRestored
+	// NodeRecovered fires when a partitioned worker, declared dead by the
+	// masters, re-registers after the partition heals (Value holds the number
+	// of block replicas restored to the namenode's map).
+	NodeRecovered
+	// ReplicaCorrupted fires when a scenario silently corrupts a block
+	// replica on a datanode (the namenode does not know yet).
+	ReplicaCorrupted
+	// CorruptReadDetected fires when a reader's checksum verification catches
+	// a corrupt replica and fails over to another copy.
+	CorruptReadDetected
+	// ReplicaInvalidated fires when the namenode drops a corrupt replica from
+	// its block map and queues the block for re-replication.
+	ReplicaInvalidated
+	// PipelineRecovered fires when a write pipeline drops an unreachable or
+	// dead hop mid-write and continues with the surviving targets.
+	PipelineRecovered
+	// MasterGiveUp fires when a worker exhausts its total master-retry budget
+	// and stops retrying (Detail names the master: "namenode" or
+	// "jobtracker").
+	MasterGiveUp
 
 	// NumTypes is the number of event types (for per-type tables).
 	NumTypes
@@ -114,6 +146,26 @@ func (t Type) String() string {
 		return "safe-mode-exited"
 	case TrackerReregistered:
 		return "tracker-reregistered"
+	case PartitionStarted:
+		return "partition-started"
+	case PartitionHealed:
+		return "partition-healed"
+	case NodeDegraded:
+		return "node-degraded"
+	case NodeRestored:
+		return "node-restored"
+	case NodeRecovered:
+		return "node-recovered"
+	case ReplicaCorrupted:
+		return "replica-corrupted"
+	case CorruptReadDetected:
+		return "corrupt-read-detected"
+	case ReplicaInvalidated:
+		return "replica-invalidated"
+	case PipelineRecovered:
+		return "pipeline-recovered"
+	case MasterGiveUp:
+		return "master-give-up"
 	}
 	return "unknown"
 }

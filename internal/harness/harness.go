@@ -95,6 +95,7 @@ func Specs() []Spec {
 		{"sched", "SCHED-SCALE: indexed vs scan scheduler at 1000 nodes", expandSched},
 		{"events", "EVENTS: typed event stream census under fault injection", expandEvents},
 		{"chaos", "CHAOS: randomized fault schedules with audit + determinism check", expandChaos},
+		{"chaos2", "CHAOS2: partition/gray/corruption fault mixes with audit + determinism check", expandChaos2},
 		{"policy", "POLICY: pluggable-policy ablation across the four decision points", expandPolicy},
 		{"whatif", "WHATIF: MEGA-GRID warm-up snapshot forked into fault branches", expandWhatIf},
 	}
@@ -506,6 +507,44 @@ func expandChaos(opts experiments.Options) []Trial {
 					"violations":   float64(r.Violations),
 					"fp_mismatch":  mismatch,
 					"unpaired":     unpaired,
+				}
+			},
+		})
+	}
+	return trials
+}
+
+func expandChaos2(opts experiments.Options) []Trial {
+	var trials []Trial
+	for i := 0; i < experiments.Chaos2ScheduleCount; i++ {
+		i := i
+		trials = append(trials, Trial{
+			Experiment: "chaos2", Point: fmt.Sprintf("schedule=%d", i),
+			Seed: opts.Seeds[0], Nodes: 60, Scale: opts.Scale,
+			run: func() Metrics {
+				r := experiments.Chaos2Schedule(i, opts)
+				mismatch := 0.0
+				if r.Mismatch {
+					mismatch = 1
+				}
+				unpaired := 0.0
+				if !r.PairedOK {
+					unpaired = 1
+				}
+				return Metrics{
+					"response_s":  r.Response.Seconds(),
+					"jobs_failed": float64(r.JobsFailed),
+					"blocks_lost": float64(r.BlocksLost),
+					"partitions":  float64(r.Partitions),
+					"healed":      float64(r.Healed),
+					"degraded":    float64(r.Degraded),
+					"corrupted":   float64(r.Corrupted),
+					"detected":    float64(r.Detected),
+					"recovered":   float64(r.Recovered),
+					"gray_draws":  float64(r.GrayDraws),
+					"violations":  float64(r.Violations),
+					"fp_mismatch": mismatch,
+					"unpaired":    unpaired,
 				}
 			},
 		})

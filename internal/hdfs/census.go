@@ -24,7 +24,12 @@ type Census struct {
 	SafeMode      bool    `json:"safe_mode"`
 	PendingWrites int     `json:"pending_writes"`
 	Stats         Stats   `json:"stats"`
-	Hash          uint64  `json:"hash"`
+	// Fault-injection state (corruption.go); zero — and omitted — fault-free,
+	// so fault-free documents match builds that predate these faults.
+	CorruptReplicas int    `json:"corrupt_replicas,omitempty"`
+	GrayNodes       int    `json:"gray_nodes,omitempty"`
+	HeldReplicas    int    `json:"held_replicas,omitempty"`
+	Hash            uint64 `json:"hash"`
 }
 
 // Census digests the namenode's current state. The hash walks every
@@ -60,6 +65,17 @@ func (nn *Namenode) Census() Census {
 		}
 		put(uint64(d.ID))
 		put(uint64(len(d.blocks)))
+		// Fault state folds in only when present, so fault-free hashes match
+		// builds that predate gray nodes and partition-heal recovery.
+		if d.gray {
+			c.GrayNodes++
+			put(^uint64(0) - 1)
+		}
+		if len(d.held) > 0 {
+			c.HeldReplicas += len(d.held)
+			put(^uint64(0) - 2)
+			put(uint64(len(d.held)))
+		}
 	}
 	bids := make([]BlockID, 0, len(nn.blocks))
 	for bid := range nn.blocks {
@@ -88,6 +104,18 @@ func (nn *Namenode) Census() Census {
 			put(uint64(id))
 		}
 		put(uint64(len(blk.pending)))
+		if len(blk.corrupt) > 0 {
+			c.CorruptReplicas += len(blk.corrupt)
+			put(^uint64(0) - 3)
+			reps = reps[:0]
+			for id := range blk.corrupt {
+				reps = append(reps, id)
+			}
+			sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+			for _, id := range reps {
+				put(uint64(id))
+			}
+		}
 	}
 	c.Hash = h.Sum64()
 	return c

@@ -123,6 +123,19 @@ type DatanodeInfo struct {
 	Alive         bool
 	LastHeartbeat sim.Time
 	blocks        map[BlockID]struct{}
+	// held preserves the physical inventory (block -> size) of a node the
+	// namenode declared dead but whose hardware may still be running behind a
+	// network partition: markDead captures blocks here instead of discarding
+	// them, and RecoverDatanode hands them back when the partition heals
+	// (corruption.go). Sizes ride along so space pinned by a file deleted
+	// during the outage can be reclaimed at recovery. physLost marks nodes
+	// whose hardware is genuinely gone (preemption, kill, disk overflow) —
+	// nothing is held or recoverable.
+	held     map[BlockID]float64
+	physLost bool
+	// gray marks a node under injected gray degradation (slow disk, flaky
+	// heartbeats); placement refuses it while flagged.
+	gray bool
 	// awaitingReport is set when a restarted namenode is waiting for this
 	// datanode's block report (see safemode.go).
 	awaitingReport bool
@@ -142,6 +155,16 @@ func (d *DatanodeInfo) HasBlock(bid BlockID) bool {
 	return ok
 }
 
+// Gray reports whether the node is flagged for gray degradation.
+func (d *DatanodeInfo) Gray() bool { return d.gray }
+
+// HeldBlocks returns the number of replicas preserved across a dead-marking
+// for possible partition-heal recovery.
+func (d *DatanodeInfo) HeldBlocks() int { return len(d.held) }
+
+// PhysicallyLost reports whether the node's hardware is genuinely gone.
+func (d *DatanodeInfo) PhysicallyLost() bool { return d.physLost }
+
 // BlockInfo is the namenode's record of one block.
 type BlockInfo struct {
 	ID       BlockID
@@ -149,7 +172,13 @@ type BlockInfo struct {
 	Size     float64
 	replicas map[netmodel.NodeID]struct{}
 	pending  map[netmodel.NodeID]struct{} // in-flight replication targets
-	lost     bool
+	// corrupt records replicas whose on-disk bytes are bad (scenario-injected).
+	// It is physical truth the namenode does not act on until a reader's
+	// checksum verification catches it (corruption.go); markers survive
+	// partition-induced replica drops and die only with the hardware, with
+	// invalidation after detection, or with the file.
+	corrupt map[netmodel.NodeID]struct{}
+	lost    bool
 	// writing marks a block whose client write pipeline has not finished:
 	// it legitimately has no replicas and no pending copies yet, so loss
 	// declaration and safe-mode report accounting must leave it alone.
@@ -170,6 +199,15 @@ func (b *BlockInfo) NumReplicas() int { return len(b.replicas) }
 
 // NumPending returns the number of in-flight copies toward this block.
 func (b *BlockInfo) NumPending() int { return len(b.pending) }
+
+// NumCorrupt returns the number of replicas marked physically corrupt.
+func (b *BlockInfo) NumCorrupt() int { return len(b.corrupt) }
+
+// CorruptOn reports whether the replica on id is physically corrupt.
+func (b *BlockInfo) CorruptOn(id netmodel.NodeID) bool {
+	_, ok := b.corrupt[id]
+	return ok
+}
 
 // Lost reports whether all replicas (and pending copies) were lost.
 func (b *BlockInfo) Lost() bool { return b.lost }
@@ -195,6 +233,17 @@ type Stats struct {
 	BytesReplicated      float64
 	WriteReplicasSkipped int // pipeline targets that died or overflowed mid-write
 	BalancerMoves        int
+	// Corruption and recovery counters (corruption.go). CorruptAcked counts
+	// reads that returned corrupt bytes to a caller as good data; checksum
+	// verification makes that impossible, and the audit layer asserts it
+	// stays zero.
+	ReplicasCorrupted    int
+	CorruptReadsDetected int
+	ReplicasInvalidated  int
+	CorruptAcked         int
+	PipelineRecoveries   int
+	NodesRecovered       int
+	ReplicasRecovered    int
 }
 
 // Namenode is the HDFS master. It lives on the stable central server in HOG
@@ -236,6 +285,11 @@ type Namenode struct {
 	replOrder ReplicationOrder
 
 	decommissioning map[netmodel.NodeID]func()
+
+	// corruptCount and grayCount summarise fault-injection state (corruption.go)
+	// so the census can gate its fold-in on "any present" without scanning.
+	corruptCount int
+	grayCount    int
 
 	// Master failure and recovery state (safemode.go). down is true between
 	// Crash and Restart; safeMode is true from Restart until enough block
@@ -464,6 +518,21 @@ func (nn *Namenode) markDead(d *DatanodeInfo) {
 			continue
 		}
 		nn.queueReplication(bid)
+	}
+	if d.physLost {
+		d.held = nil
+	} else {
+		// The hardware may still be running behind a network partition:
+		// remember what it physically holds so a heal can hand the replicas
+		// back (RecoverDatanode) instead of re-copying every block. Genuinely
+		// lost nodes (preemption, kill, overflow) are flagged physLost by the
+		// owner of the hardware before or shortly after this point.
+		d.held = make(map[BlockID]float64, len(d.blocks))
+		for bid := range d.blocks {
+			if b := nn.blocks[bid]; b != nil {
+				d.held[bid] = b.Size
+			}
+		}
 	}
 	d.blocks = make(map[BlockID]struct{})
 	if done, draining := nn.decommissioning[d.ID]; draining {

@@ -99,6 +99,7 @@ func (nn *Namenode) DeleteFile(name string) {
 				nn.smTotal-- // dropReplica above settled smReported
 			}
 			delete(nn.replQueued, bid)
+			nn.forgetCorrupt(b)
 			delete(nn.blocks, bid)
 			continue
 		}
@@ -117,6 +118,7 @@ func (nn *Namenode) DeleteFile(name string) {
 			nn.dropReplica(b, id)
 		}
 		delete(nn.replQueued, bid)
+		nn.forgetCorrupt(b)
 		delete(nn.blocks, bid)
 	}
 	delete(nn.files, name)
@@ -234,11 +236,22 @@ func (nn *Namenode) writeFileNow(writer netmodel.NodeID, name string, size float
 			return
 		}
 		// Reserve space up front; a target that cannot hold the block is
-		// dropped from the pipeline.
+		// dropped from the pipeline, and a target the previous hop cannot
+		// reach (a partition landed between placement and pipeline setup) is
+		// dropped the same way — Hadoop's pipeline recovery: close the chain
+		// around the bad node and continue with the survivors.
 		var pipeline []netmodel.NodeID
+		prevHop := writer
 		for _, tid := range targets {
+			if !nn.net.Reachable(prevHop, tid) {
+				skipped++
+				nn.stats.WriteReplicasSkipped++
+				nn.recoverPipelineHop(b.ID, tid)
+				continue
+			}
 			if nn.disk.Reserve(tid, b.Size) {
 				pipeline = append(pipeline, tid)
+				prevHop = tid
 			} else {
 				skipped++
 				nn.stats.WriteReplicasSkipped++
@@ -261,9 +274,20 @@ func (nn *Namenode) writeFileNow(writer netmodel.NodeID, name string, size float
 					nn.disk.Release(tid, b.Size)
 					return
 				}
-				if d, ok := nn.datanodes[tid]; ok && d.Alive {
+				d, ok := nn.datanodes[tid]
+				switch {
+				case ok && d.Alive && !d.gray && nn.net.MasterReachable(tid):
 					nn.addReplica(b, tid)
-				} else {
+				case ok && d.Alive:
+					// The hop went gray or was partitioned mid-write: its ack
+					// cannot reach (or cannot be trusted by) the namenode, so
+					// the replica is not committed — pipeline recovery drops
+					// the hop and the block re-replicates in the background.
+					nn.disk.Release(tid, b.Size)
+					skipped++
+					nn.stats.WriteReplicasSkipped++
+					nn.recoverPipelineHop(b.ID, tid)
+				default:
 					nn.disk.Release(tid, b.Size)
 					skipped++
 					nn.stats.WriteReplicasSkipped++
@@ -322,6 +346,11 @@ func (nn *Namenode) ReadSource(reader netmodel.NodeID, bid BlockID) (src netmode
 		if d == nil || !d.Alive {
 			continue
 		}
+		if !nn.net.Reachable(id, reader) {
+			// A partition severs the replica from this reader; other readers
+			// (same side of the cut) may still use it.
+			continue
+		}
 		any = append(any, id)
 		if readerSite != "" && d.Site == readerSite {
 			sameSite = append(sameSite, id)
@@ -342,20 +371,5 @@ func (nn *Namenode) ReadSource(reader netmodel.NodeID, bid BlockID) (src netmode
 	return 0, false, false
 }
 
-// ReadBlock transfers a block to the reader, calling done(true) on success
-// or done(false) when no replica is available. Local reads are disk I/O.
-func (nn *Namenode) ReadBlock(reader netmodel.NodeID, bid BlockID, done func(ok bool)) {
-	src, local, ok := nn.ReadSource(reader, bid)
-	if !ok {
-		if done != nil {
-			done(false)
-		}
-		return
-	}
-	b := nn.blocks[bid]
-	if local {
-		nn.net.StartDiskIO(reader, b.Size, func() { done(true) })
-		return
-	}
-	nn.net.StartFlow(src, reader, b.Size, func() { done(true) })
-}
+// ReadBlock transfers a block to the reader with checksum verification,
+// replica failover, and capped exponential backoff; see corruption.go.

@@ -19,6 +19,13 @@ func (nn *Namenode) gatherCandidates(size float64, exclude map[netmodel.NodeID]s
 		if !d.Alive {
 			continue
 		}
+		if d.gray {
+			// A node flagged for gray degradation still heartbeats, but giving
+			// it new replicas would stash data behind a slow disk and widen the
+			// failure's blast radius; placement routes around it until the
+			// degradation is lifted.
+			continue
+		}
 		if _, ex := exclude[d.ID]; ex {
 			continue
 		}

@@ -131,6 +131,16 @@ func (nn *Namenode) pumpReplication() {
 			continue
 		}
 		dst := targets[0]
+		if !nn.net.Reachable(src, dst) {
+			// A live partition severs the chosen source from the chosen
+			// target. Retry after a beat: by then either the partition healed
+			// or the dead scan retired whichever side is unreachable.
+			nn.eng.After(nn.cfg.CheckInterval, func() {
+				nn.queueReplication(bid)
+				nn.pumpReplication()
+			})
+			continue
+		}
 		if !nn.disk.Reserve(dst, b.Size) {
 			nn.queueReplication(bid)
 			continue

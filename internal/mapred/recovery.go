@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hog/internal/event"
+	"hog/internal/netmodel"
 )
 
 // This file models JobTracker failure and recovery (docs/FAULTS.md). A
@@ -117,6 +118,55 @@ func (jt *JobTracker) ReregisterTracker(t *TaskTracker) {
 	}
 	t.LastHeartbeat = jt.eng.Now()
 	jt.assign(t)
+}
+
+// ReviveTracker brings back a tracker the JobTracker declared dead while its
+// daemons kept running behind a network partition: the heal-side complement
+// of markDead. Slots rejoin the site load, the tracker heartbeats again, and
+// assignment resumes on it. markDead already failed its attempts and cleared
+// its ghosts, so there is no task state to reconcile.
+func (jt *JobTracker) ReviveTracker(node netmodel.NodeID) bool {
+	t := jt.trackers[node]
+	if t == nil || t.Alive {
+		return false
+	}
+	t.Alive = true
+	t.LastHeartbeat = jt.eng.Now()
+	if sl := jt.siteLoads[t.Site]; sl != nil {
+		sl.slots += t.MapSlots + t.ReduceSlots
+	}
+	if !jt.down {
+		jt.assign(t)
+	}
+	return true
+}
+
+// DropGhostsOn resolves zombie beliefs about a node that turned out to be
+// alive behind a partition that healed before the tracker timeout: the
+// ghosted tasks return to pending and reschedule immediately instead of
+// waiting out the timeout.
+func (jt *JobTracker) DropGhostsOn(node netmodel.NodeID) {
+	for _, j := range jt.jobs {
+		if j.State != JobRunning && j.State != JobPending {
+			continue
+		}
+		for _, m := range j.maps {
+			if before := len(m.ghosts); before > 0 {
+				m.ghosts = dropGhosts(m.ghosts, node)
+				if len(m.ghosts) != before {
+					jt.noteMapTask(m)
+				}
+			}
+		}
+		for _, r := range j.reduces {
+			if before := len(r.ghosts); before > 0 {
+				r.ghosts = dropGhosts(r.ghosts, node)
+				if len(r.ghosts) != before {
+					jt.noteReduceTask(r)
+				}
+			}
+		}
+	}
 }
 
 // Down reports whether the JobTracker is crashed.

@@ -353,12 +353,13 @@ func (a *attempt) mapRead() {
 		a.fail("input block unavailable", true)
 		return
 	}
-	if !local && !a.jt.servable(src) {
-		// The namenode still lists this replica, but the host is gone; the
-		// DFS client discovers that only after a connection timeout, then
-		// moves on to the next replica. With HOG's 30-second dead timeout
-		// such corpses disappear from the namenode quickly; with the
-		// traditional 15 minutes, clients keep paying this penalty.
+	if !local && (!a.jt.servable(src) || !a.jt.net.Reachable(src, a.node)) {
+		// The namenode still lists this replica, but the host is gone — or a
+		// partition severs it from this reader; the DFS client discovers that
+		// only after a connection timeout, then moves on to the next replica.
+		// With HOG's 30-second dead timeout such corpses disappear from the
+		// namenode quickly; with the traditional 15 minutes, clients keep
+		// paying this penalty.
 		if a.tried == nil {
 			a.tried = make(map[netmodel.NodeID]bool)
 		}
@@ -368,6 +369,12 @@ func (a *attempt) mapRead() {
 	}
 	cont := func() {
 		a.flow = nil
+		if !a.jt.nn.VerifyRead(m.block, src) {
+			// Checksum mismatch: the corrupt replica is already reported and
+			// invalidated; fail over to the next copy after a client beat.
+			a.timer = a.jt.eng.After(a.jt.cfg.ConnectTimeout, func() { a.mapRead() })
+			return
+		}
 		a.mapCompute()
 	}
 	if local {
@@ -589,12 +596,12 @@ func (a *attempt) pumpFetchWave() {
 			continue
 		}
 		src := m.outputNode
-		if !a.jt.servable(src) && src != a.node {
-			// Fetch failure: the reducer discovers the output host is gone
-			// only after a connection timeout, then notifies the JobTracker
-			// so the map re-executes (§IV.D.1's zombie trackers surface
-			// exactly here). The fetcher slot stays busy for the timeout,
-			// as a real copier thread would.
+		if (!a.jt.servable(src) || !a.jt.net.Reachable(src, a.node)) && src != a.node {
+			// Fetch failure: the reducer discovers the output host is gone —
+			// or partitioned away — only after a connection timeout, then
+			// notifies the JobTracker so the map re-executes (§IV.D.1's
+			// zombie trackers surface exactly here). The fetcher slot stays
+			// busy for the timeout, as a real copier thread would.
 			a.inFlight++
 			a.jt.eng.After(a.jt.cfg.ConnectTimeout, func() {
 				if a.finished {
@@ -602,7 +609,7 @@ func (a *attempt) pumpFetchWave() {
 				}
 				a.inFlight--
 				delete(a.fetchQueuedS, mapIdx)
-				a.jt.reportFetchFailure(a.job, m)
+				a.jt.reportFetchFailure(a.job, m, a.node)
 				a.pumpFetches()
 			})
 			continue
@@ -632,10 +639,11 @@ func (a *attempt) pumpFetchWave() {
 	}
 }
 
-// reportFetchFailure re-executes a completed map whose output host is gone.
-func (jt *JobTracker) reportFetchFailure(j *Job, m *mapTask) {
+// reportFetchFailure re-executes a completed map whose output host is gone
+// or unreachable from the reducer that tried to fetch it.
+func (jt *JobTracker) reportFetchFailure(j *Job, m *mapTask, from netmodel.NodeID) {
 	j.counters.FetchFailures++
-	if m.done && !jt.servable(m.outputNode) {
+	if m.done && (!jt.servable(m.outputNode) || !jt.net.Reachable(m.outputNode, from)) {
 		jt.reExecuteMap(j, m)
 	}
 }

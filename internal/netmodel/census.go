@@ -17,7 +17,12 @@ type Census struct {
 	ActiveFlows int    `json:"active_flows"`
 	FlowSeq     uint64 `json:"flow_seq"`
 	Stats       Stats  `json:"stats"`
-	Hash        uint64 `json:"hash"`
+	// Partitions and DegradedDisks cover the fault-injection state installed
+	// mid-run (partition.go); both are zero — and omitted — fault-free, so
+	// documents from fault-free runs are byte-identical to pre-fault builds.
+	Partitions    int    `json:"partitions,omitempty"`
+	DegradedDisks int    `json:"degraded_disks,omitempty"`
+	Hash          uint64 `json:"hash"`
 }
 
 // Census digests the network's current state. The hash folds in every
@@ -25,11 +30,13 @@ type Census struct {
 // byte counters.
 func (n *Network) Census() Census {
 	c := Census{
-		Sites:       len(n.sites),
-		Nodes:       len(n.nodes),
-		ActiveFlows: n.nActive,
-		FlowSeq:     n.flowSeq,
-		Stats:       n.stats,
+		Sites:         len(n.sites),
+		Nodes:         len(n.nodes),
+		ActiveFlows:   n.nActive,
+		FlowSeq:       n.flowSeq,
+		Stats:         n.stats,
+		Partitions:    n.nParted,
+		DegradedDisks: len(n.diskFactors),
 	}
 	h := fnv.New64a()
 	var b [8]byte
@@ -48,6 +55,45 @@ func (n *Network) Census() Census {
 	put(math.Float64bits(n.stats.BytesDisk))
 	put(uint64(n.stats.FlowsStarted))
 	put(uint64(n.stats.FlowsCanceled))
+	// Fault-injection state folds in only when present, so fault-free hashes
+	// match builds that predate partitions and gray disks.
+	if n.nParted > 0 {
+		put(uint64(n.nParted))
+		for i := range n.sites {
+			in, out := n.SitePartition(SiteID(i))
+			if in || out {
+				put(uint64(i))
+				put(cutBits(in, out))
+			}
+		}
+		for i := range n.nodes {
+			in, out := n.NodePartition(NodeID(i))
+			if in || out {
+				put(uint64(i))
+				put(cutBits(in, out))
+			}
+		}
+	}
+	if len(n.diskFactors) > 0 {
+		put(uint64(len(n.diskFactors)))
+		for i := range n.nodes {
+			if f, ok := n.diskFactors[i]; ok {
+				put(uint64(i))
+				put(math.Float64bits(f))
+			}
+		}
+	}
 	c.Hash = h.Sum64()
 	return c
+}
+
+func cutBits(in, out bool) uint64 {
+	var v uint64
+	if in {
+		v |= 1
+	}
+	if out {
+		v |= 2
+	}
+	return v
 }

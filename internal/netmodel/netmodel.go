@@ -187,6 +187,15 @@ type Network struct {
 	// order holds all active flows sorted by creation seq; maintained only
 	// in global-rebalance mode, where every event walks every flow.
 	order []*Flow
+
+	// Directed partition state (partition.go), keyed by int(SiteID) /
+	// int(NodeID); nParted counts installed cuts so the fault-free Reachable
+	// fast path is one integer compare. diskFactors holds the non-nominal
+	// gray disk deratings.
+	partInSite, partOutSite map[int]struct{}
+	partInNode, partOutNode map[int]struct{}
+	nParted                 int
+	diskFactors             map[int]float64
 }
 
 // New creates an empty network on eng.

@@ -1,0 +1,163 @@
+package netmodel
+
+// Network partitions and gray degradation (docs/FAULTS.md). A partition is a
+// directed cut between a site (or a single node) and the rest of the fabric:
+// the higher layers — heartbeat driver, shuffle fetch, replication pump,
+// write pipeline — consult Reachable before opening a connection, so a full
+// cut silences a node exactly the way a crash does (the masters' dead
+// timeouts fire), while an asymmetric cut lets heartbeats through and fails
+// only the data paths, producing the gray "alive but useless" behaviour the
+// paper's dead-timeout tuning cannot see.
+//
+// The partition state is a pure reachability oracle: it does not touch
+// in-flight flows, so installing or healing a cut costs O(1) and the
+// fault-free fast path (no partitions anywhere) is a single counter check on
+// every Reachable call.
+
+// PartitionSite installs a directed cut between the site and every other
+// site. cutIn drops traffic into the site, cutOut drops traffic out of it;
+// both true is a full partition. Intra-site traffic is never affected — nodes
+// behind a site cut still reach each other. Calling again replaces the cut
+// directions.
+func (n *Network) PartitionSite(site SiteID, cutIn, cutOut bool) {
+	n.ensurePartMaps()
+	n.setCut(n.partInSite, int(site), cutIn)
+	n.setCut(n.partOutSite, int(site), cutOut)
+}
+
+// HealSite removes both directions of a site cut. Healing an unpartitioned
+// site is a no-op.
+func (n *Network) HealSite(site SiteID) { n.PartitionSite(site, false, false) }
+
+// PartitionNode installs a directed cut between one node and every other
+// node, including its own site's. cutIn drops traffic to the node, cutOut
+// drops traffic from it.
+func (n *Network) PartitionNode(id NodeID, cutIn, cutOut bool) {
+	n.ensurePartMaps()
+	n.setCut(n.partInNode, int(id), cutIn)
+	n.setCut(n.partOutNode, int(id), cutOut)
+}
+
+// HealNode removes both directions of a node cut.
+func (n *Network) HealNode(id NodeID) { n.PartitionNode(id, false, false) }
+
+func (n *Network) ensurePartMaps() {
+	if n.partInSite == nil {
+		n.partInSite = make(map[int]struct{})
+		n.partOutSite = make(map[int]struct{})
+		n.partInNode = make(map[int]struct{})
+		n.partOutNode = make(map[int]struct{})
+	}
+}
+
+func (n *Network) setCut(m map[int]struct{}, key int, cut bool) {
+	_, have := m[key]
+	switch {
+	case cut && !have:
+		m[key] = struct{}{}
+		n.nParted++
+	case !cut && have:
+		delete(m, key)
+		n.nParted--
+	}
+}
+
+// Reachable reports whether src can open a connection to dst under the
+// current partition state. A node always reaches itself. With no partitions
+// installed anywhere this is a single counter check.
+func (n *Network) Reachable(src, dst NodeID) bool {
+	if n.nParted == 0 || src == dst {
+		return true
+	}
+	if _, cut := n.partOutNode[int(src)]; cut {
+		return false
+	}
+	if _, cut := n.partInNode[int(dst)]; cut {
+		return false
+	}
+	ss, ds := n.nodes[src].site, n.nodes[dst].site
+	if ss == ds {
+		return true
+	}
+	if _, cut := n.partOutSite[int(ss)]; cut {
+		return false
+	}
+	if _, cut := n.partInSite[int(ds)]; cut {
+		return false
+	}
+	return true
+}
+
+// MasterReachable reports whether a node's heartbeats reach the stable
+// central masters, which live outside every site. Only the node's outbound
+// direction matters: under an inbound-only cut the masters keep hearing the
+// node (and believe it healthy) while every data transfer toward it fails —
+// the asymmetric-partition gray zone.
+func (n *Network) MasterReachable(id NodeID) bool {
+	if n.nParted == 0 {
+		return true
+	}
+	if _, cut := n.partOutNode[int(id)]; cut {
+		return false
+	}
+	_, cut := n.partOutSite[int(n.nodes[id].site)]
+	return !cut
+}
+
+// AnyPartition reports whether any directed cut is installed.
+func (n *Network) AnyPartition() bool { return n.nParted > 0 }
+
+// SitePartition returns the site's current cut directions.
+func (n *Network) SitePartition(site SiteID) (cutIn, cutOut bool) {
+	if n.nParted == 0 {
+		return false, false
+	}
+	_, cutIn = n.partInSite[int(site)]
+	_, cutOut = n.partOutSite[int(site)]
+	return
+}
+
+// NodePartition returns the node's current cut directions.
+func (n *Network) NodePartition(id NodeID) (cutIn, cutOut bool) {
+	if n.nParted == 0 {
+		return false, false
+	}
+	_, cutIn = n.partInNode[int(id)]
+	_, cutOut = n.partOutNode[int(id)]
+	return
+}
+
+// SetNodeDiskFactor derates one node's disk to 1/factor of its configured
+// bandwidth (factor 4 = a disk running at quarter speed — the gray slow-disk
+// failure). factor 1 restores nominal speed. Active I/O on the node is
+// settled at its old rate and re-timed at the new share, exactly as a
+// population change would be.
+func (n *Network) SetNodeDiskFactor(id NodeID, factor float64) {
+	if factor <= 0 {
+		panic("netmodel: non-positive disk degradation factor")
+	}
+	if n.diskFactors == nil {
+		n.diskFactors = make(map[int]float64)
+	}
+	if factor == 1 {
+		delete(n.diskFactors, int(id))
+	} else {
+		n.diskFactors[int(id)] = factor
+	}
+	d := &n.nodes[id].disk
+	n.markDirty(d)
+	d.capacity = n.cfg.DiskBps / factor
+	d.reshare()
+	n.rebalance()
+}
+
+// NodeDiskFactor returns the node's current disk derating (1 = nominal).
+func (n *Network) NodeDiskFactor(id NodeID) float64 {
+	if f, ok := n.diskFactors[int(id)]; ok {
+		return f
+	}
+	return 1
+}
+
+// DegradedDisks returns the number of nodes with a non-nominal disk factor.
+func (n *Network) DegradedDisks() int { return len(n.diskFactors) }

@@ -1,0 +1,132 @@
+package netmodel
+
+import (
+	"testing"
+
+	"hog/internal/sim"
+)
+
+// Nodes 0 and 2 are at site a, nodes 1 and 3 at site b (interleaved add
+// order in testNet).
+
+func TestSitePartitionDirections(t *testing.T) {
+	_, net := testNet(t, 1, 2)
+	cases := []struct {
+		name          string
+		cutIn, cutOut bool
+		intoA, outOfA bool // cross-site reachability toward / from site a
+		master        bool // node 0's heartbeats reach the masters
+		wantAnyAfter  bool
+	}{
+		{"full", true, true, false, false, false, true},
+		{"inbound-only", true, false, false, true, true, true},
+		{"outbound-only", false, true, true, false, false, true},
+		{"healed", false, false, true, true, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net.PartitionSite(0, tc.cutIn, tc.cutOut)
+			if got := net.Reachable(1, 0); got != tc.intoA {
+				t.Errorf("Reachable(b→a) = %v, want %v", got, tc.intoA)
+			}
+			if got := net.Reachable(0, 1); got != tc.outOfA {
+				t.Errorf("Reachable(a→b) = %v, want %v", got, tc.outOfA)
+			}
+			if got := net.MasterReachable(0); got != tc.master {
+				t.Errorf("MasterReachable(0) = %v, want %v", got, tc.master)
+			}
+			// Intra-site traffic is never affected by a site cut.
+			if !net.Reachable(0, 2) || !net.Reachable(2, 0) {
+				t.Error("site cut severed intra-site traffic")
+			}
+			if got := net.AnyPartition(); got != tc.wantAnyAfter {
+				t.Errorf("AnyPartition = %v, want %v", got, tc.wantAnyAfter)
+			}
+			cutIn, cutOut := net.SitePartition(0)
+			if cutIn != tc.cutIn || cutOut != tc.cutOut {
+				t.Errorf("SitePartition = (%v,%v), want (%v,%v)", cutIn, cutOut, tc.cutIn, tc.cutOut)
+			}
+		})
+	}
+}
+
+func TestNodePartitionCutsIntraSite(t *testing.T) {
+	_, net := testNet(t, 1, 2)
+	net.PartitionNode(0, true, true)
+	// A node cut severs even same-site peers — unlike a site cut.
+	if net.Reachable(2, 0) || net.Reachable(0, 2) {
+		t.Fatal("node cut did not sever intra-site traffic")
+	}
+	if net.MasterReachable(0) {
+		t.Fatal("fully cut node still reaches the masters")
+	}
+	// Self-reachability is unconditional.
+	if !net.Reachable(0, 0) {
+		t.Fatal("node cannot reach itself")
+	}
+	// The rest of the fabric is untouched.
+	if !net.Reachable(1, 2) || !net.Reachable(2, 3) {
+		t.Fatal("node cut leaked onto unrelated pairs")
+	}
+	net.HealNode(0)
+	if net.AnyPartition() {
+		t.Fatal("heal left partition state behind")
+	}
+	if !net.Reachable(2, 0) || !net.MasterReachable(0) {
+		t.Fatal("healed node still unreachable")
+	}
+}
+
+func TestNodeInboundCutIsGrayToMasters(t *testing.T) {
+	_, net := testNet(t, 1, 2)
+	net.PartitionNode(0, true, false)
+	// The masters keep hearing the node (outbound is clear) while every
+	// transfer toward it fails: the asymmetric gray zone.
+	if !net.MasterReachable(0) {
+		t.Fatal("inbound-only cut silenced heartbeats")
+	}
+	if net.Reachable(1, 0) || net.Reachable(2, 0) {
+		t.Fatal("inbound-only cut lets data in")
+	}
+	if !net.Reachable(0, 1) {
+		t.Fatal("inbound-only cut blocks outbound data")
+	}
+}
+
+func TestDiskFactorDeratesAndRestores(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	if net.DegradedDisks() != 0 || net.NodeDiskFactor(0) != 1 {
+		t.Fatal("fresh network reports degraded disks")
+	}
+	// 50 MB at the full 50 MB/s disk = 1 s; at quarter speed = 4 s.
+	var fast, slow sim.Time
+	net.StartDiskIO(0, 50e6, func() { fast = eng.Now() })
+	eng.Run()
+	net.SetNodeDiskFactor(0, 4)
+	if net.NodeDiskFactor(0) != 4 || net.DegradedDisks() != 1 {
+		t.Fatalf("factor = %v, degraded = %d; want 4, 1", net.NodeDiskFactor(0), net.DegradedDisks())
+	}
+	start := eng.Now()
+	net.StartDiskIO(0, 50e6, func() { slow = eng.Now() - start })
+	eng.Run()
+	if ratio := float64(slow) / float64(fast); ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("derated read took %v vs nominal %v (ratio %.2f), want ~4x", slow, fast, ratio)
+	}
+	net.SetNodeDiskFactor(0, 1)
+	if net.NodeDiskFactor(0) != 1 || net.DegradedDisks() != 0 {
+		t.Fatal("factor 1 did not restore nominal state")
+	}
+}
+
+func TestPartitionOracleDoesNotTouchFlows(t *testing.T) {
+	eng, net := testNet(t, 1, 2)
+	// A cut installed mid-flow must not cancel the transfer: the oracle
+	// gates new connections at the layers above, never in-flight bytes.
+	done := false
+	net.StartFlow(0, 1, 10e6, func() { done = true })
+	net.PartitionSite(0, true, true)
+	eng.Run()
+	if !done {
+		t.Fatal("installing a partition cancelled an in-flight flow")
+	}
+}

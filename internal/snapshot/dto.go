@@ -126,6 +126,7 @@ type configDTO struct {
 	RunBound             sim.Time           `json:"run_bound"`
 	MasterBackoffInitial sim.Time           `json:"master_backoff_initial"`
 	MasterBackoffMax     sim.Time           `json:"master_backoff_max"`
+	MasterRetryTotal     sim.Time           `json:"master_retry_total"`
 }
 
 func encodeConfig(cfg core.Config) (configDTO, error) {
@@ -146,6 +147,7 @@ func encodeConfig(cfg core.Config) (configDTO, error) {
 		RunBound:             cfg.RunBound,
 		MasterBackoffInitial: cfg.MasterBackoffInitial,
 		MasterBackoffMax:     cfg.MasterBackoffMax,
+		MasterRetryTotal:     cfg.MasterRetryTotal,
 	}
 	if cfg.Grid != nil {
 		g := &gridDTO{TargetNodes: cfg.Grid.TargetNodes, ProvisionBound: cfg.Grid.ProvisionBound}
@@ -197,6 +199,7 @@ func decodeConfig(dto configDTO) (core.Config, error) {
 		RunBound:             dto.RunBound,
 		MasterBackoffInitial: dto.MasterBackoffInitial,
 		MasterBackoffMax:     dto.MasterBackoffMax,
+		MasterRetryTotal:     dto.MasterRetryTotal,
 	}
 	if dto.Grid != nil {
 		g := &core.GridConfig{TargetNodes: dto.Grid.TargetNodes, ProvisionBound: dto.Grid.ProvisionBound}

@@ -1,0 +1,143 @@
+package snapshot
+
+import (
+	"testing"
+
+	"hog/internal/core"
+	"hog/internal/event"
+	"hog/internal/grid"
+	"hog/internal/sim"
+)
+
+// faultStraight runs cfg+sc uninterrupted and returns the fingerprint plus
+// the final RNG stream positions, so the mid-fault round trips below can
+// check the gray stream's replayed position, not just the engine's.
+func faultStraight(t *testing.T, cfg core.Config, sc *core.Scenario) (fingerprint, []core.RNGStream) {
+	t.Helper()
+	log := event.NewLog()
+	sys, err := core.NewSystem(cfg, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.RunWorkload(sched(cfg.Seed, 0.1))
+	return fp(log, sys, res), sys.RNGStreams()
+}
+
+// faultCutRun starts the same run, drives it to RunStart+cut (which the
+// caller places strictly inside the fault window), hands the live system to
+// check for a mid-fault assertion, snapshots, restores, and finishes the
+// restored system.
+func faultCutRun(t *testing.T, cfg core.Config, sc *core.Scenario, cut sim.Time,
+	check func(*core.System, string)) (fingerprint, []core.RNGStream, *event.Log) {
+	t.Helper()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartWorkload(sched(cfg.Seed, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunTo(sys.RunStart() + cut); err != nil {
+		t.Fatal(err)
+	}
+	check(sys, "at the cut instant")
+	data, err := Save(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := event.NewLog()
+	restored, err := Restore(data, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(restored, "after restore")
+	res := restored.FinishWorkload()
+	return fp(log, restored, res), restored.RNGStreams(), log
+}
+
+// TestRoundTripMidPartition snapshots a run while a whole site is cut off —
+// after PartitionStarted, with the silenced nodes heading for the dead
+// timeout, before the heal — and verifies the restored continuation is
+// byte-identical to the uninterrupted run, including the PartitionHealed and
+// NodeRecovered events that only fire after the cut instant.
+func TestRoundTripMidPartition(t *testing.T) {
+	sc := func() *core.Scenario {
+		return core.NewScenario("site cut").
+			PartitionSiteAt(60*sim.Second, "UCSDT2", "both").
+			HealPartitionAt(600*sim.Second, "UCSDT2")
+	}
+	cfg := core.HOGConfig(50, grid.ChurnNone, 13)
+	want, wantStreams := faultStraight(t, cfg, sc())
+
+	// Cut inside the partition window: after the cut at start+60, before the
+	// heal at start+600.
+	got, gotStreams, log := faultCutRun(t, cfg, sc(), 200*sim.Second,
+		func(s *core.System, where string) {
+			if s.PartitionedSites() == 0 {
+				t.Fatalf("no site partitioned %s", where)
+			}
+		})
+	if want != got {
+		t.Fatalf("mid-partition restored run diverged:\n want %+v\n got  %+v", want, got)
+	}
+	for i := range wantStreams {
+		if wantStreams[i] != gotStreams[i] {
+			t.Fatalf("stream %q diverged: straight %+v restored %+v",
+				wantStreams[i].Name, wantStreams[i], gotStreams[i])
+		}
+	}
+	// The healing half of the loop happened in the restored continuation.
+	if got := log.Count(event.PartitionStarted); got != 1 {
+		t.Fatalf("PartitionStarted = %d in restored log, want 1", got)
+	}
+	if got := log.Count(event.PartitionHealed); got != 1 {
+		t.Fatalf("PartitionHealed = %d in restored log, want 1", got)
+	}
+	if log.Count(event.NodeRecovered) == 0 {
+		t.Fatal("no NodeRecovered after the heal in the restored continuation")
+	}
+}
+
+// TestRoundTripMidGrayDegradation snapshots a run while nodes are in the
+// gray state — slow disks and lossy heartbeats, so the gray RNG stream is
+// live at the cut — and verifies the restored continuation matches the
+// straight run bit for bit, including the gray stream's final position and
+// the NodeRestored events that fire after the cut.
+func TestRoundTripMidGrayDegradation(t *testing.T) {
+	sc := func() *core.Scenario {
+		return core.NewScenario("gray patch").
+			DegradeNodesAt(60*sim.Second, "AGLT2", 3, 4, 0.25).
+			RestoreNodesAt(600*sim.Second, "AGLT2")
+	}
+	cfg := core.HOGConfig(50, grid.ChurnNone, 17)
+	want, wantStreams := faultStraight(t, cfg, sc())
+	if len(wantStreams) != 2 || wantStreams[1].Name != "gray" || wantStreams[1].Draws == 0 {
+		t.Fatalf("straight run streams = %+v, want a gray stream with draws", wantStreams)
+	}
+
+	got, gotStreams, log := faultCutRun(t, cfg, sc(), 200*sim.Second,
+		func(s *core.System, where string) {
+			if s.DegradedNodes() == 0 {
+				t.Fatalf("no node degraded %s", where)
+			}
+		})
+	if want != got {
+		t.Fatalf("mid-gray restored run diverged:\n want %+v\n got  %+v", want, got)
+	}
+	for i := range wantStreams {
+		if wantStreams[i] != gotStreams[i] {
+			t.Fatalf("stream %q diverged: straight %+v restored %+v",
+				wantStreams[i].Name, wantStreams[i], gotStreams[i])
+		}
+	}
+	deg, rst := log.Count(event.NodeDegraded), log.Count(event.NodeRestored)
+	if deg == 0 || deg != rst {
+		t.Fatalf("NodeDegraded = %d, NodeRestored = %d in restored log, want equal and > 0", deg, rst)
+	}
+}

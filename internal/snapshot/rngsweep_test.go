@@ -14,11 +14,13 @@ import (
 // registry) or break this test — there is no way to grow an untracked
 // source of nondeterminism silently.
 var rngAllowlist = map[string]string{
-	"internal/sim/engine.go":        "the engine stream (core.RNGStreams \"engine\")",
-	"internal/sim/rngsource.go":     "the CountingSource wrapper itself",
-	"internal/sim/dist.go":          "distributions sampling the engine stream (no own source)",
-	"internal/workload/workload.go": "pre-sim schedule generator (output rides in snapshots as data)",
-	"internal/experiments/chaos.go": "pre-sim chaos-schedule generator (seeded, generation-time only)",
+	"internal/sim/engine.go":         "the engine stream (core.RNGStreams \"engine\")",
+	"internal/sim/rngsource.go":      "the CountingSource wrapper itself",
+	"internal/sim/dist.go":           "distributions sampling the engine stream (no own source)",
+	"internal/workload/workload.go":  "pre-sim schedule generator (output rides in snapshots as data)",
+	"internal/experiments/chaos.go":  "pre-sim chaos-schedule generator (seeded, generation-time only)",
+	"internal/experiments/chaos2.go": "pre-sim beyond-crash-stop schedule generator (seeded, generation-time only)",
+	"internal/core/faults.go":        "the gray heartbeat-loss stream (core.RNGStreams \"gray\", counted)",
 }
 
 // TestNoHiddenRandSources walks every Go file in the module and fails if a

@@ -43,8 +43,11 @@ import (
 
 // Version is the current snapshot encoding version. A snapshot is readable
 // only by the version that wrote it: the payload embeds live config structs,
-// so any change to them (or to replay semantics) must bump this.
-const Version = 1
+// so any change to them (or to replay semantics) must bump this. v2 added
+// the beyond-crash-stop fault model: Config.MasterRetryTotal, the counted
+// "gray" RNG stream in the engine census, and the partition/gray/corruption
+// scenario verbs and census fields.
+const Version = 2
 
 // magic identifies a HOG snapshot; the trailing NUL pins the length to 8.
 var magic = [8]byte{'H', 'O', 'G', 'S', 'N', 'A', 'P', 0}
